@@ -1,0 +1,333 @@
+// Package anonnet is a library for studying distributed function
+// computation in anonymous networks, reproducing "Know Your Audience:
+// Communication model and computability in anonymous networks"
+// (Charron-Bost & Lambein-Monette, PODC 2024 brief announcement / HAL
+// preprint hal-04334359).
+//
+// The library provides:
+//
+//   - the computing model of the paper (§2): anonymous deterministic agents
+//     in synchronous rounds under four communication models — simple
+//     broadcast, outdegree awareness, output port awareness, and symmetric
+//     communications — on static or dynamic networks, with asynchronous
+//     starts and state-corruption (self-stabilization) experiments;
+//   - graph fibrations (§3): minimum bases, coverings, lifts, and the
+//     executable lifting lemma;
+//   - the paper's algorithms: gossip (set-based functions), the distributed
+//     minimum-base / fibre-cardinality pipeline of §4.2 (frequency- and
+//     multiset-based functions on static networks), Push-Sum and its
+//     frequency form (§5), and Metropolis average consensus;
+//   - Tables 1 and 2 as a decision procedure plus executable impossibility
+//     witnesses for the negative cells.
+//
+// Quick start: compute the average on an anonymous directed ring where
+// agents know only their outdegrees —
+//
+//	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+//	factory, _ := anonnet.NewFactory(anonnet.Average(), setting)
+//	res, _ := anonnet.Compute(factory, anonnet.NewStatic(anonnet.Ring(8)),
+//		anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6), anonnet.ComputeOptions{Kind: setting.Kind})
+//	fmt.Println(res.Outputs[0]) // 3.875, at every agent
+//
+// The package re-exports the stable surface of the internal packages; the
+// full machinery (fibrations, exact rational solvers, matrix analysis)
+// lives under internal/ and is exercised by the cmd/ binaries and the test
+// suite.
+package anonnet
+
+import (
+	"anonnet/internal/core"
+	"anonnet/internal/dynamic"
+	"anonnet/internal/engine"
+	"anonnet/internal/fibration"
+	"anonnet/internal/funcs"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+// Core model types.
+type (
+	// Graph is a directed multigraph with optional output-port labels.
+	Graph = graph.Graph
+	// Edge is one edge of a Graph.
+	Edge = graph.Edge
+	// Schedule is a dynamic graph 𝔾 = (𝔾(t)).
+	Schedule = dynamic.Schedule
+	// Input is an agent's private input (value + leader flag).
+	Input = model.Input
+	// Kind selects the communication model.
+	Kind = model.Kind
+	// Message is a message payload.
+	Message = model.Message
+	// Value is an output value.
+	Value = model.Value
+	// Agent is the transition-function side of an automaton.
+	Agent = model.Agent
+	// Factory builds the identical automaton run by every agent.
+	Factory = model.Factory
+	// Metric is a distance on outputs (δ of §2.3).
+	Metric = model.Metric
+	// Func is a multiset-based function annotated with its class.
+	Func = funcs.Func
+	// Class is one of the three function classes.
+	Class = funcs.Class
+	// Setting instantiates a cell of the computability tables.
+	Setting = core.Setting
+	// Row is a centralized-help row of the tables.
+	Row = core.Row
+	// Cell is a table entry: the exact class of computable functions.
+	Cell = core.Cell
+	// Runner executes rounds (sequential or concurrent engine).
+	Runner = engine.Runner
+	// Config configures an execution.
+	Config = engine.Config
+	// WitnessReport is the outcome of an impossibility witness run.
+	WitnessReport = core.WitnessReport
+)
+
+// The four communication models (§2.2).
+const (
+	SimpleBroadcast = model.SimpleBroadcast
+	OutdegreeAware  = model.OutdegreeAware
+	OutputPortAware = model.OutputPortAware
+	Symmetric       = model.Symmetric
+)
+
+// The centralized-help rows of Tables 1 and 2.
+const (
+	RowNoHelp = core.RowNoHelp
+	RowBound  = core.RowBound
+	RowSize   = core.RowSize
+	RowLeader = core.RowLeader
+)
+
+// The three function classes (§2.3).
+const (
+	SetBased       = funcs.SetBased
+	FrequencyBased = funcs.FrequencyBased
+	MultisetBased  = funcs.MultisetBased
+)
+
+// Function library (§2.3's examples).
+var (
+	Min           = funcs.Min
+	Max           = funcs.Max
+	Range         = funcs.Range
+	SupportSize   = funcs.SupportSize
+	Average       = funcs.Average
+	Mode          = funcs.Mode
+	Median        = funcs.Median
+	Variance      = funcs.Variance
+	GeometricMean = funcs.GeometricMean
+	FrequencyOf   = funcs.FrequencyOf
+	ThresholdFreq = funcs.ThresholdFreq
+	Sum           = funcs.Sum
+	Count         = funcs.Count
+	Catalog       = funcs.Catalog
+)
+
+// Metrics (§2.3).
+var (
+	// Discrete is the discrete metric δ₀ (exact computation).
+	Discrete = model.Discrete
+	// Euclid is the Euclidean metric δ₂ (asymptotic computation).
+	Euclid = model.Euclid
+)
+
+// Graph builders.
+var (
+	NewGraph          = graph.New
+	Ring              = graph.Ring
+	BidirectionalRing = graph.BidirectionalRing
+	Complete          = graph.Complete
+	Path              = graph.Path
+	Star              = graph.Star
+	Hypercube         = graph.Hypercube
+	Torus             = graph.Torus
+	DeBruijn          = graph.DeBruijn
+	RandomGeometric   = graph.RandomGeometric
+	RandomDigraph     = graph.RandomStronglyConnected
+	RandomSymmetric   = graph.RandomSymmetricConnected
+)
+
+// NewStatic wraps a fixed graph as a constant schedule.
+func NewStatic(g *Graph) Schedule { return dynamic.NewStatic(g) }
+
+// Dynamic adversaries (§5's network classes).
+type (
+	// RandomConnected draws an independent random connected symmetric
+	// graph each round.
+	RandomConnected = dynamic.RandomConnected
+	// SplitRing alternates disconnected halves with bridges: no round is
+	// connected, yet the dynamic diameter is finite.
+	SplitRing = dynamic.SplitRing
+	// Pairwise is the population-protocol-like random-matching adversary.
+	Pairwise = dynamic.Pairwise
+	// GrowingGaps is the §6 regime: connectivity recurs forever but no
+	// finite dynamic diameter exists.
+	GrowingGaps = dynamic.GrowingGaps
+)
+
+// Tables and dispatch (the paper's characterization).
+var (
+	// StaticCell returns Table 1's entry.
+	StaticCell = core.StaticCell
+	// DynamicCell returns Table 2's entry.
+	DynamicCell = core.DynamicCell
+	// Computable decides computability of a class in a setting.
+	Computable = core.Computable
+	// Rows lists the help rows in table order.
+	Rows = core.Rows
+	// NewFactory dispatches a function to the algorithm realizing the
+	// setting's cell, or errors when the tables forbid it.
+	NewFactory = core.NewFactory
+)
+
+// Fibration machinery (§3).
+type (
+	// Fibration is a graph fibration φ : Total → Base.
+	Fibration = fibration.Fibration
+	// View is a truncated in-view (universal-cover tree).
+	View = fibration.View
+)
+
+// Fibration operations (§3).
+var (
+	// MinimumBase computes the minimum base of a valued graph and the
+	// fibration onto it.
+	MinimumBase = fibration.MinimumBase
+	// IsFibrationPrime reports whether every fibration from the valued
+	// graph is an isomorphism.
+	IsFibrationPrime = fibration.IsPrime
+	// ViewTree builds the depth-d in-view of a vertex.
+	ViewTree = fibration.ViewTree
+	// ViewPartition partitions vertices by view equality.
+	ViewPartition = fibration.ViewPartition
+	// LeaderElectionPossible decides leader election solvability
+	// (fibration primality, after [5, 32]).
+	LeaderElectionPossible = fibration.LeaderElectionPossible
+	// RingFibration builds the §4.1 fibration R_n → R_p.
+	RingFibration = fibration.RingFibration
+)
+
+// Impossibility machinery (§3, §4.1).
+var (
+	// CheckLifting machine-checks the lifting lemma on a fibration.
+	CheckLifting = core.CheckLifting
+	// RingImpossibilityWitness runs an algorithm on two frequency-
+	// equivalent ring inputs and reports their (in)distinguishability.
+	RingImpossibilityWitness = core.RingImpossibilityWitness
+	// BroadcastSetCeilingWitness shows blind broadcast cannot recover
+	// frequencies.
+	BroadcastSetCeilingWitness = core.BroadcastSetCeilingWitness
+)
+
+// Engines.
+var (
+	// NewEngine returns the deterministic sequential round engine.
+	NewEngine = engine.New
+	// NewConcurrentEngine returns the goroutine-per-agent engine.
+	NewConcurrentEngine = engine.NewConcurrent
+	// RunUntilStable detects exact stabilization (discrete metric).
+	RunUntilStable = engine.RunUntilStable
+	// RunUntilClose detects ε-agreement with a known target.
+	RunUntilClose = engine.RunUntilClose
+	// RunRounds runs a fixed number of rounds, returning the history.
+	RunRounds = engine.RunRounds
+)
+
+// Inputs builds an input slice from plain values.
+func Inputs(vals ...float64) []Input {
+	out := make([]Input, len(vals))
+	for i, v := range vals {
+		out[i] = Input{Value: v}
+	}
+	return out
+}
+
+// MarkLeaders returns a copy of in with the given agents marked as leaders
+// (§4.5, §5.5).
+func MarkLeaders(in []Input, leaders ...int) []Input {
+	out := make([]Input, len(in))
+	copy(out, in)
+	for _, i := range leaders {
+		out[i].Leader = true
+	}
+	return out
+}
+
+// ComputeOptions tunes Compute.
+type ComputeOptions struct {
+	// Kind is the communication model (required).
+	Kind Kind
+	// MaxRounds bounds the execution (default 10000).
+	MaxRounds int
+	// Patience is the number of unchanged rounds treated as stabilization
+	// (default 2·n+10).
+	Patience int
+	// Seed drives delivery-order shuffling.
+	Seed int64
+	// Concurrent selects the goroutine-per-agent engine.
+	Concurrent bool
+	// Starts optionally gives per-agent activation rounds (asynchronous
+	// starts).
+	Starts []int
+}
+
+// ComputeResult reports a Compute run.
+type ComputeResult struct {
+	// Outputs is the final output vector.
+	Outputs []Value
+	// Stable is true when the outputs stabilized exactly within the
+	// budget (δ₀-computation); asymptotic algorithms may report false
+	// while still having converged numerically.
+	Stable bool
+	// StabilizedAt is the first round from which outputs never changed
+	// (when Stable).
+	StabilizedAt int
+	// Rounds is the number of rounds executed.
+	Rounds int
+}
+
+// Compute runs the factory on the schedule until the outputs stabilize (or
+// the round budget runs out) and returns the result. It is the convenience
+// entry point; use the engine API directly for fine-grained control.
+func Compute(factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 10000
+	}
+	if opts.Patience <= 0 {
+		opts.Patience = 2*len(inputs) + 10
+	}
+	cfg := Config{
+		Schedule: schedule,
+		Kind:     opts.Kind,
+		Inputs:   inputs,
+		Factory:  factory,
+		Seed:     opts.Seed,
+		Starts:   opts.Starts,
+	}
+	var (
+		r   Runner
+		err error
+	)
+	if opts.Concurrent {
+		r, err = engine.NewConcurrent(cfg)
+	} else {
+		r, err = engine.New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	res, err := engine.RunUntilStable(r, model.Discrete, opts.Patience, opts.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &ComputeResult{
+		Outputs:      res.Outputs,
+		Stable:       res.Stable,
+		StabilizedAt: res.StabilizedAt,
+		Rounds:       res.Rounds,
+	}, nil
+}

@@ -1,0 +1,91 @@
+package anonnet_test
+
+import (
+	"testing"
+
+	"anonnet"
+)
+
+func TestComputeQuickstart(t *testing.T) {
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.Ring(8)),
+		anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6), anonnet.ComputeOptions{Kind: setting.Kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatalf("did not stabilize in %d rounds", res.Rounds)
+	}
+	for i, o := range res.Outputs {
+		if o.(float64) != 3.875 {
+			t.Fatalf("agent %d output %v, want 3.875", i, o)
+		}
+	}
+}
+
+func TestComputeConcurrentEngine(t *testing.T) {
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(concurrent bool) *anonnet.ComputeResult {
+		res, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.BidirectionalRing(6)),
+			anonnet.Inputs(1, 2, 3, 4, 5, 6),
+			anonnet.ComputeOptions{Kind: setting.Kind, Concurrent: concurrent, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, con := run(false), run(true)
+	if seq.Rounds != con.Rounds || seq.StabilizedAt != con.StabilizedAt {
+		t.Fatalf("engines disagree: seq %+v vs con %+v", seq, con)
+	}
+	for i := range seq.Outputs {
+		if seq.Outputs[i] != con.Outputs[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], con.Outputs[i])
+		}
+	}
+}
+
+func TestComputeRejectsForbiddenCell(t *testing.T) {
+	_, err := anonnet.NewFactory(anonnet.Sum(),
+		anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp})
+	if err == nil {
+		t.Fatal("sum without help must be rejected (Theorem 4.1)")
+	}
+}
+
+func TestTablesExposed(t *testing.T) {
+	if c := anonnet.StaticCell(anonnet.Symmetric, anonnet.RowSize); c.Class != anonnet.MultisetBased {
+		t.Fatalf("Table 1 sym/size = %v", c)
+	}
+	if !anonnet.Computable(anonnet.SetBased, anonnet.SimpleBroadcast, anonnet.RowNoHelp, true) {
+		t.Fatal("set-based by broadcast must be computable")
+	}
+}
+
+func TestLeaderCountExample(t *testing.T) {
+	// Counting with one leader on a dynamic network (§5.5).
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: false, Row: anonnet.RowLeader, Leaders: 1}
+	factory, err := anonnet.NewFactory(anonnet.Count(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := anonnet.MarkLeaders(anonnet.Inputs(7, 7, 7, 7, 7, 7), 0)
+	res, err := anonnet.Compute(factory, &anonnet.RandomConnected{Vertices: 6, ExtraEdges: 1, Seed: 2},
+		inputs, anonnet.ComputeOptions{Kind: setting.Kind, MaxRounds: 3000, Patience: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if o.(float64) != 6 {
+			t.Fatalf("agent %d counted %v, want 6", i, o)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Benchmark harness: one benchmark family per experiment row of DESIGN.md
+// §4. Each Table benchmark runs a full execution of the algorithm realizing
+// a table cell to output stabilization and reports the measured
+// stabilization round alongside the wall-clock numbers; the figure
+// benchmarks sweep the paper's rate claims; the ablation benchmarks compare
+// the three kernel-solve variants of §4.2/§4.3 and the two engines.
+package anonnet_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"anonnet"
+	"anonnet/internal/algorithms/freqcalc"
+	"anonnet/internal/algorithms/minbase"
+	"anonnet/internal/algorithms/pushsum"
+	"anonnet/internal/core"
+	"anonnet/internal/dynamic"
+	"anonnet/internal/engine"
+	"anonnet/internal/funcs"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+func benchInputs(n int, row core.Row) []model.Input {
+	pattern := []float64{1, 2, 2}
+	out := make([]model.Input, n)
+	for i := range out {
+		out[i] = model.Input{Value: pattern[i%3]}
+	}
+	if row == core.RowLeader {
+		out[0].Leader = true
+	}
+	return out
+}
+
+func repFunc(c funcs.Class) funcs.Func {
+	switch c {
+	case funcs.SetBased:
+		return funcs.Max()
+	case funcs.FrequencyBased:
+		return funcs.Average()
+	default:
+		return funcs.Sum()
+	}
+}
+
+// runCell runs one cell's algorithm to ε-agreement, returning rounds.
+func runCell(b *testing.B, kind model.Kind, row core.Row, static bool, n int, seed int64) int {
+	b.Helper()
+	s := core.Setting{Kind: kind, Static: static, Row: row, BoundN: n + 2, KnownN: n, Leaders: 1}
+	cell := s.Cell()
+	f := repFunc(cell.Class)
+	if cell.Open {
+		f = funcs.Average()
+	}
+	factory, err := core.NewFactory(f, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := benchInputs(n, row)
+	vals := make([]float64, n)
+	for i, in := range inputs {
+		vals[i] = in.Value
+	}
+	want := f.FromVector(vals)
+	var schedule dynamic.Schedule
+	switch {
+	case static && kind == model.Symmetric:
+		schedule = dynamic.NewStatic(graph.BidirectionalRing(n))
+	case static && kind == model.OutputPortAware:
+		schedule = dynamic.NewStatic(graph.Ring(n).AssignPorts())
+	case static:
+		schedule = dynamic.NewStatic(graph.Ring(n))
+	case kind == model.Symmetric:
+		schedule = &dynamic.RandomConnected{Vertices: n, ExtraEdges: 1, Seed: seed}
+	default:
+		schedule = &dynamic.SplitRing{Vertices: n}
+	}
+	e, err := engine.New(engine.Config{Schedule: schedule, Kind: kind, Inputs: inputs, Factory: factory, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := engine.RunUntilClose(e, want, model.Euclid, 1e-6, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Converged {
+		b.Fatalf("%v/%v did not converge (err %g)", kind, row, res.MaxErr)
+	}
+	return res.Rounds
+}
+
+// BenchmarkTable1 covers every implemented positive cell of Table 1 (T1).
+func BenchmarkTable1(b *testing.B) {
+	kinds := []model.Kind{model.SimpleBroadcast, model.OutdegreeAware, model.Symmetric, model.OutputPortAware}
+	for _, kind := range kinds {
+		for _, row := range core.Rows() {
+			b.Run(fmt.Sprintf("%v/%v", kind, row), func(b *testing.B) {
+				rounds := 0
+				for i := 0; i < b.N; i++ {
+					rounds = runCell(b, kind, row, true, 6, int64(i))
+				}
+				b.ReportMetric(float64(rounds), "rounds-to-1e-6")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 covers every implemented positive cell of Table 2 (T2).
+func BenchmarkTable2(b *testing.B) {
+	type cellCase struct {
+		kind model.Kind
+		row  core.Row
+	}
+	cases := []cellCase{
+		{model.SimpleBroadcast, core.RowNoHelp},
+		{model.SimpleBroadcast, core.RowLeader},
+		{model.OutdegreeAware, core.RowNoHelp},
+		{model.OutdegreeAware, core.RowBound},
+		{model.OutdegreeAware, core.RowSize},
+		{model.OutdegreeAware, core.RowLeader},
+		{model.Symmetric, core.RowBound},
+		{model.Symmetric, core.RowSize},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%v/%v", c.kind, c.row), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				rounds = runCell(b, c.kind, c.row, false, 6, int64(i))
+			}
+			b.ReportMetric(float64(rounds), "rounds-to-1e-6")
+		})
+	}
+}
+
+// BenchmarkTable1Impossibility regenerates the negative cells (T1-neg):
+// the ring fibration witness and the broadcast set ceiling.
+func BenchmarkTable1Impossibility(b *testing.B) {
+	b.Run("ring-witness", func(b *testing.B) {
+		factory, err := core.NewFactory(funcs.Average(),
+			core.Setting{Kind: model.OutdegreeAware, Static: true, Row: core.RowNoHelp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			rep, err := core.RingImpossibilityWitness(factory, model.OutdegreeAware,
+				map[float64]int{1: 2, 5: 1}, 2, 3, 60, int64(i))
+			if err != nil || !rep.Agree {
+				b.Fatalf("witness failed: %v", err)
+			}
+		}
+	})
+	b.Run("broadcast-ceiling", func(b *testing.B) {
+		factory, err := core.NewFactory(funcs.Max(),
+			core.Setting{Kind: model.SimpleBroadcast, Static: true, Row: core.RowNoHelp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			rep, err := core.BroadcastSetCeilingWitness(factory,
+				map[float64]int{1: 1, 5: 1}, []int{1, 2}, []int{1, 4}, 40, int64(i))
+			if err != nil || !rep.Agree {
+				b.Fatalf("witness failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkPushSumConvergence is F1: rounds to ε on rings, vs n²·D·log(1/ε).
+func BenchmarkPushSumConvergence(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		for _, eps := range []float64{1e-4, 1e-8} {
+			b.Run(fmt.Sprintf("n=%d/eps=%.0e", n, eps), func(b *testing.B) {
+				rounds := 0
+				for i := 0; i < b.N; i++ {
+					inputs := make([]model.Input, n)
+					want := 0.0
+					for j := range inputs {
+						inputs[j] = model.Input{Value: float64(j)}
+						want += float64(j)
+					}
+					want /= float64(n)
+					e, err := engine.New(engine.Config{
+						Schedule: dynamic.NewStatic(graph.Ring(n)),
+						Kind:     model.OutdegreeAware,
+						Inputs:   inputs,
+						Factory:  pushsum.NewAverageFactory(),
+						Seed:     int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := engine.RunUntilClose(e, want, model.Euclid, eps, 100000)
+					if err != nil || !res.Converged {
+						b.Fatal("no convergence")
+					}
+					rounds = res.Rounds
+				}
+				bound := float64(n*n*(n-1)) * math.Log(1/eps)
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(rounds)/bound, "bound-frac")
+			})
+		}
+	}
+}
+
+// BenchmarkMinBaseStabilization is F2: static §4.2 stabilization vs n + D.
+func BenchmarkMinBaseStabilization(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("ring/n=%d", n), func(b *testing.B) {
+			measured := 0
+			for i := 0; i < b.N; i++ {
+				factory, err := freqcalc.NewFactory(model.OutdegreeAware, funcs.Average(), freqcalc.None)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := engine.New(engine.Config{
+					Schedule: dynamic.NewStatic(graph.Ring(n)),
+					Kind:     model.OutdegreeAware,
+					Inputs:   benchInputs(n, core.RowNoHelp),
+					Factory:  factory,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := engine.RunUntilStable(e, model.Discrete, n+3*(n-1)+4, 4*n+40)
+				if err != nil || !res.Stable {
+					b.Fatal("no stabilization")
+				}
+				measured = res.StabilizedAt
+			}
+			b.ReportMetric(float64(measured), "stabilized-round")
+			b.ReportMetric(float64(n+(n-1)), "paper-n+D")
+		})
+	}
+}
+
+// BenchmarkMetropolis is F3: symmetric dynamic average consensus vs n².
+func BenchmarkMetropolis(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				rounds = runMetropolisOnce(b, n, int64(i))
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(rounds)/float64(n*n), "rounds-per-n2")
+		})
+	}
+}
+
+func runMetropolisOnce(b *testing.B, n int, seed int64) int {
+	b.Helper()
+	factory, err := core.NewFactory(funcs.Average(),
+		core.Setting{Kind: model.Symmetric, Static: false, Row: core.RowBound, BoundN: n + 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]model.Input, n)
+	want := 0.0
+	for j := range inputs {
+		inputs[j] = model.Input{Value: float64(j)}
+		want += float64(j)
+	}
+	want /= float64(n)
+	e, err := engine.New(engine.Config{
+		Schedule: &dynamic.RandomConnected{Vertices: n, ExtraEdges: 1, Seed: seed},
+		Kind:     model.Symmetric,
+		Inputs:   inputs,
+		Factory:  factory,
+		Seed:     seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := engine.RunUntilClose(e, want, model.Euclid, 1e-6, 200000)
+	if err != nil || !res.Converged {
+		b.Fatal("no convergence")
+	}
+	return res.Rounds
+}
+
+// BenchmarkExactRounding is F4: exact ℚ_N stabilization vs n²·D·log N.
+func BenchmarkExactRounding(b *testing.B) {
+	n := 6
+	for _, bound := range []int{6, 24} {
+		b.Run(fmt.Sprintf("N=%d", bound), func(b *testing.B) {
+			stabilized := 0
+			for i := 0; i < b.N; i++ {
+				factory, err := pushsum.NewFrequencyFactory(pushsum.FrequencyConfig{
+					F: funcs.Average(), Mode: pushsum.RoundToBound, BoundN: bound,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := engine.New(engine.Config{
+					Schedule: dynamic.NewStatic(graph.Ring(n)),
+					Kind:     model.OutdegreeAware,
+					Inputs:   benchInputs(n, core.RowNoHelp),
+					Factory:  factory,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := engine.RunUntilStable(e, model.Discrete, 100, 5000)
+				if err != nil || !res.Stable {
+					b.Fatal("no stabilization")
+				}
+				stabilized = res.StabilizedAt
+			}
+			b.ReportMetric(float64(stabilized), "stabilized-round")
+		})
+	}
+}
+
+// BenchmarkKernelVariants is the A1 ablation: the three §4.2/§4.3 solvers
+// on the same (star-shaped) base.
+func BenchmarkKernelVariants(b *testing.B) {
+	base := &minbase.Base{
+		Values: []float64{9, 4},
+		Leader: []bool{false, false},
+		Out:    []int{5, 2},
+		D:      [][]int{{1, 1}, {4, 1}},
+	}
+	cover := &minbase.Base{
+		Values: []float64{9, 4},
+		Leader: []bool{false, false},
+		Out:    []int{2, 2},
+		D:      [][]int{{1, 1}, {1, 1}},
+	}
+	b.Run("outdegree-gaussian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := freqcalc.SolveOutdegree(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("symmetric-spanning-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := freqcalc.SolveSymmetric(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ports-constant", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := freqcalc.SolvePorts(cover); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngines is the A2 ablation: sequential vs concurrent round
+// engine on the same workload.
+func BenchmarkEngines(b *testing.B) {
+	mk := func(concurrent bool) func(*testing.B) {
+		return func(b *testing.B) {
+			setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+			factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.Ring(12)),
+					anonnet.Inputs(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12),
+					anonnet.ComputeOptions{Kind: setting.Kind, Concurrent: concurrent, Seed: int64(i), MaxRounds: 200})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sequential", mk(false))
+	b.Run("concurrent", mk(true))
+}
+
+// BenchmarkGossipFlooding measures the baseline algorithm's cost per round
+// budget across network families.
+func BenchmarkGossipFlooding(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("ring/n=%d", n), func(b *testing.B) {
+			factory, err := core.NewFactory(funcs.Max(),
+				core.Setting{Kind: model.SimpleBroadcast, Static: true, Row: core.RowNoHelp})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs := make([]model.Input, n)
+			for j := range inputs {
+				inputs[j] = model.Input{Value: float64(j % 17)}
+			}
+			for i := 0; i < b.N; i++ {
+				e, err := engine.New(engine.Config{
+					Schedule: dynamic.NewStatic(graph.Ring(n)),
+					Kind:     model.SimpleBroadcast,
+					Inputs:   inputs,
+					Factory:  factory,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for t := 0; t < n; t++ {
+					if err := e.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"anonnet/internal/core"
+	"anonnet/internal/model"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]model.Kind{
+		"bc": model.SimpleBroadcast, "broadcast": model.SimpleBroadcast,
+		"od": model.OutdegreeAware, "OP": model.OutputPortAware,
+		"sym": model.Symmetric, "Symmetric": model.Symmetric,
+	}
+	for in, want := range cases {
+		got, err := parseKind(in)
+		if err != nil || got != want {
+			t.Errorf("parseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseKind("bogus"); err == nil {
+		t.Error("parseKind accepted bogus")
+	}
+}
+
+func TestParseRow(t *testing.T) {
+	cases := map[string]core.Row{
+		"nohelp": core.RowNoHelp, "none": core.RowNoHelp,
+		"bound": core.RowBound, "size": core.RowSize, "n": core.RowSize,
+		"leader": core.RowLeader, "LEADERS": core.RowLeader,
+	}
+	for in, want := range cases {
+		got, err := parseRow(in)
+		if err != nil || got != want {
+			t.Errorf("parseRow(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseRow("x"); err == nil {
+		t.Error("parseRow accepted x")
+	}
+}
+
+func TestLookupFunc(t *testing.T) {
+	f, err := lookupFunc("average")
+	if err != nil || f.Name != "average" {
+		t.Fatalf("lookupFunc(average) = %v, %v", f.Name, err)
+	}
+	if _, err := lookupFunc("nonesuch"); err == nil || !strings.Contains(err.Error(), "catalog") {
+		t.Fatalf("lookupFunc error should list the catalog: %v", err)
+	}
+}
+
+func TestParseInputs(t *testing.T) {
+	in, err := parseInputs("1, 2.5,3", 3)
+	if err != nil || len(in) != 3 || in[1].Value != 2.5 {
+		t.Fatalf("parseInputs = %v, %v", in, err)
+	}
+	def, err := parseInputs("", 4)
+	if err != nil || len(def) != 4 || def[3].Value != 4 {
+		t.Fatalf("default inputs = %v, %v", def, err)
+	}
+	if _, err := parseInputs("1,2", 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := parseInputs("1,x,3", 3); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+}
+
+func TestParseGraphSpecs(t *testing.T) {
+	statics := []string{"ring:5", "bidiring:4", "star:6", "path:3", "complete:4",
+		"hypercube:3", "debruijn:2.3", "torus:2.3", "random:5", "randomsym:5", "geometric:6"}
+	for _, spec := range statics {
+		s, static, err := parseGraph(spec, 1)
+		if err != nil {
+			t.Errorf("parseGraph(%q): %v", spec, err)
+			continue
+		}
+		if !static {
+			t.Errorf("parseGraph(%q): expected static", spec)
+		}
+		if s.N() < 1 || !s.At(1).HasSelfLoops() {
+			t.Errorf("parseGraph(%q): bad schedule", spec)
+		}
+	}
+	dynamics := []string{"splitring:6", "randomdyn:5", "pairwise:7"}
+	for _, spec := range dynamics {
+		_, static, err := parseGraph(spec, 1)
+		if err != nil || static {
+			t.Errorf("parseGraph(%q): err=%v static=%t", spec, err, static)
+		}
+	}
+	for _, bad := range []string{"nope:3", "ring:x", "ring:0", "torus:5", "debruijn:2"} {
+		if _, _, err := parseGraph(bad, 1); err == nil {
+			t.Errorf("parseGraph(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseIntsAndLinear(t *testing.T) {
+	v, err := parseInts("0, 2,4")
+	if err != nil || len(v) != 3 || v[2] != 4 {
+		t.Fatalf("parseInts = %v, %v", v, err)
+	}
+	if _, err := parseInts("a"); err == nil {
+		t.Error("parseInts accepted a")
+	}
+	if got := linear(3); got[0] != 1 || got[2] != 3 {
+		t.Fatalf("linear = %v", got)
+	}
+	if v, err := parseInts(""); err != nil || v != nil {
+		t.Fatalf("parseInts empty = %v, %v", v, err)
+	}
+}

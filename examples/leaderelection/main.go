@@ -1,0 +1,58 @@
+// Leader election and graph fibrations: the question that brought
+// fibrations into anonymous computing (§3, after Boldi–Vigna, Yamashita &
+// Kameda). Leader election is solvable exactly when the valued network
+// graph is fibration prime — no two agents can be confused by any
+// fibration. This example surveys networks, computes their minimum bases,
+// and reports where election is possible; it then shows how a single
+// sensor with a distinguished reading breaks a ring's symmetry.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonnet"
+	"anonnet/internal/fibration"
+)
+
+func main() {
+	type tc struct {
+		name   string
+		g      *anonnet.Graph
+		labels []string
+	}
+	cases := []tc{
+		{"uniform ring R_6", anonnet.Ring(6), nil},
+		{"ring, one marked agent", anonnet.Ring(6), []string{"*", "x", "x", "x", "x", "x"}},
+		{"ring, alternating values", anonnet.Ring(6), []string{"a", "b", "a", "b", "a", "b"}},
+		{"star, uniform leaves", anonnet.Star(5), []string{"hub", "x", "x", "x", "x"}},
+		{"hypercube Q_3", anonnet.Hypercube(3), nil},
+		{"path, palindromic values", anonnet.Path(4), []string{"a", "b", "b", "a"}},
+		{"path, distinct values", anonnet.Path(4), []string{"a", "b", "c", "d"}},
+	}
+	fmt.Println("leader election in anonymous networks ⟺ the valued graph is fibration prime (§3):")
+	fmt.Println()
+	for _, c := range cases {
+		fib, err := fibration.MinimumBase(c.g, c.labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		possible, err := fibration.LeaderElectionPossible(c.g, c.labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "impossible"
+		if possible {
+			verdict = "POSSIBLE"
+		}
+		fmt.Printf("%-28s n=%d, minimum base has %d fibre(s) → election %s\n",
+			c.name, c.g.N(), fib.Base.N(), verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("the view of each agent determines its fibre: on the marked ring,")
+	fmt.Println("depth-5 views are pairwise distinct —")
+	labels := []string{"*", "x", "x", "x", "x", "x"}
+	part := fibration.ViewPartition(anonnet.Ring(6), labels, 5)
+	fmt.Printf("view classes: %v (all distinct ⟹ every agent can elect, e.g., class 0)\n", part)
+}

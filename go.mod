@@ -1,0 +1,3 @@
+module anonnet
+
+go 1.22

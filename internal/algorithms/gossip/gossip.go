@@ -1,0 +1,97 @@
+// Package gossip implements the simple gossip (flooding) algorithm: each
+// agent repeatedly broadcasts the set of input values it has heard of and
+// unions what it receives. Within D (dynamic-diameter) rounds every agent
+// holds the full set of input values, so any set-based function is
+// computable — the positive half of the simple-broadcast row of Tables 1
+// and 2. The impossibility halves (nothing beyond set-based is computable
+// by broadcast) are exercised by the core package's fibration witnesses.
+package gossip
+
+import (
+	"fmt"
+	"sort"
+
+	"anonnet/internal/funcs"
+	"anonnet/internal/model"
+	"anonnet/internal/multiset"
+)
+
+// Agent is one gossip automaton. It implements the senders of all four
+// communication models, since a broadcast algorithm runs unchanged in the
+// richer models (it simply ignores the extra information).
+type Agent struct {
+	f    funcs.Func
+	seen map[float64]bool
+}
+
+var (
+	_ model.Broadcaster     = (*Agent)(nil)
+	_ model.OutdegreeSender = (*Agent)(nil)
+	_ model.PortSender      = (*Agent)(nil)
+	_ model.Corruptible     = (*Agent)(nil)
+)
+
+// NewFactory returns a factory of gossip agents computing f, which must be
+// set-based: gossip forgets multiplicities by construction, so a larger
+// class would silently compute the wrong function.
+func NewFactory(f funcs.Func) (model.Factory, error) {
+	if f.Class != funcs.SetBased {
+		return nil, fmt.Errorf("gossip: function %q is %v, need set-based", f.Name, f.Class)
+	}
+	return func(in model.Input) model.Agent {
+		return &Agent{f: f, seen: map[float64]bool{in.Value: true}}
+	}, nil
+}
+
+// Send broadcasts the sorted set of values seen so far.
+func (a *Agent) Send() model.Message {
+	vals := make([]float64, 0, len(a.seen))
+	for v := range a.seen {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// SendOutdegree ignores the outdegree: gossip is graph-invariant (§2.2).
+func (a *Agent) SendOutdegree(int) model.Message { return a.Send() }
+
+// SendPorts sends the same set on every port.
+func (a *Agent) SendPorts(outdeg int) []model.Message {
+	m := a.Send()
+	out := make([]model.Message, outdeg)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}
+
+// Receive unions the received sets into the local one.
+func (a *Agent) Receive(msgs []model.Message) {
+	for _, m := range msgs {
+		vals, ok := m.([]float64)
+		if !ok {
+			continue // foreign message; gossip is tolerant by nature
+		}
+		for _, v := range vals {
+			a.seen[v] = true
+		}
+	}
+}
+
+// Output evaluates f on the set of values seen (each with multiplicity 1 —
+// immaterial for a set-based f).
+func (a *Agent) Output() model.Value {
+	vals := make([]float64, 0, len(a.seen))
+	for v := range a.seen {
+		vals = append(vals, v)
+	}
+	return a.f.Eval(multiset.New(vals...))
+}
+
+// Corrupt injects junk values into the seen-set. Gossip never forgets, so
+// it is *not* self-stabilizing — the self-stabilization tests demonstrate
+// exactly this failure, as the paper notes for flooding-style algorithms.
+func (a *Agent) Corrupt(junk int64) {
+	a.seen[float64(junk%1000)+0.5] = true
+}

@@ -1,0 +1,157 @@
+// Package minbase implements the distributed minimum-base computation at
+// the core of §4.2 (after Boldi–Vigna [8]): in a static strongly connected
+// anonymous network, every agent eventually knows the minimum base of the
+// (valued) network graph — the quotient by the coarsest stable partition —
+// and from round n + D onwards its candidate is correct forever.
+//
+// Views are represented by hash labels: the label of an agent at level ℓ is
+// a 128-bit hash of (its input value, its outdegree, its own level-(ℓ-1)
+// label, and the multiset of its in-neighbours' level-(ℓ-1) labels, with
+// ports in the output-port-aware model). Agents gossip the signature table
+// (level, label) → signature; each agent extracts a candidate base from the
+// deepest stable stretch of levels of its table (see candidate.go). Labels
+// are self-certifying — label = hash(signature) — which is what the reset
+// machinery of agent.go uses to recover from state corruption.
+//
+// DESIGN.md §6 records the two deliberate substitutions: exact view trees →
+// hash labels (collision probability ≈ 2⁻⁶⁴ per pair, negligible at
+// simulation scale), and Boldi–Vigna's finite-state self-stabilization →
+// epoch-numbered reset waves recovering from random corruption.
+package minbase
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"anonnet/internal/model"
+)
+
+// EncodeInput canonically encodes an agent input (value, leader flag) as
+// the vertex label of the valued graph.
+func EncodeInput(in model.Input) string {
+	// 'x' (hex) formatting is exact for float64, so distinct values never
+	// share a label.
+	return strconv.FormatFloat(in.Value, 'x', -1, 64) + "|" + strconv.FormatBool(in.Leader)
+}
+
+// DecodeInput inverts EncodeInput.
+func DecodeInput(s string) (model.Input, error) {
+	val, leader, ok := strings.Cut(s, "|")
+	if !ok {
+		return model.Input{}, fmt.Errorf("minbase: malformed input label %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return model.Input{}, fmt.Errorf("minbase: malformed value in label %q: %v", s, err)
+	}
+	l, err := strconv.ParseBool(leader)
+	if err != nil {
+		return model.Input{}, fmt.Errorf("minbase: malformed leader flag in label %q: %v", s, err)
+	}
+	return model.Input{Value: v, Leader: l}, nil
+}
+
+// InRef is one group of a signature's in-neighbourhood: Count in-edges from
+// neighbours labelled Prev at the previous level, on port Port (0 outside
+// the output-port model).
+type InRef struct {
+	Prev  string
+	Port  int
+	Count int
+}
+
+// Sig is the signature of a view class at some level ℓ ≥ 1: the defining
+// data of the refinement step. Label(sig) is the class's label at ℓ.
+// Level-0 signatures have only Value set (and Out = -1).
+type Sig struct {
+	// Value is the agent's encoded input (vertex valuation).
+	Value string
+	// Out is the agent's outdegree (self-loop included), or -1 if not yet
+	// known (level 0).
+	Out int
+	// Prev is the agent's own label at level ℓ-1 ("" at level 0).
+	Prev string
+	// In lists the in-neighbour labels at ℓ-1, grouped and sorted by
+	// (Prev, Port) (nil at level 0).
+	In []InRef
+}
+
+// canonical returns the canonical serialization hashed by Label.
+func (s Sig) canonical() string {
+	var b strings.Builder
+	b.WriteString("V=")
+	b.WriteString(s.Value)
+	b.WriteString(";O=")
+	b.WriteString(strconv.Itoa(s.Out))
+	b.WriteString(";P=")
+	b.WriteString(s.Prev)
+	b.WriteString(";I=")
+	for _, r := range s.In {
+		b.WriteString(r.Prev)
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(r.Port))
+		b.WriteByte('*')
+		b.WriteString(strconv.Itoa(r.Count))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Label returns the 128-bit hash label of a signature, as 32 hex
+// characters. Labels are self-certifying: a table entry (level, label, sig)
+// is valid iff label == Label(sig).
+func Label(s Sig) string {
+	h := fnv.New128a()
+	h.Write([]byte(s.canonical()))
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// groupRefs builds the sorted, grouped In list from raw (label, port)
+// observations.
+func groupRefs(raw []refObs) []InRef {
+	type key struct {
+		prev string
+		port int
+	}
+	counts := make(map[key]int, len(raw))
+	for _, r := range raw {
+		counts[key{r.label, r.port}]++
+	}
+	out := make([]InRef, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, InRef{Prev: k.prev, Port: k.port, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prev != out[j].Prev {
+			return out[i].Prev < out[j].Prev
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+type refObs struct {
+	label string
+	port  int
+}
+
+// Key identifies a view class in the gossiped table.
+type Key struct {
+	Level int
+	Label string
+}
+
+// Msg is the per-round message: the sender's current epoch, its full label
+// history, the port the copy is sent on (output-port model only), and a
+// snapshot of its signature table. Hist and Entries are zero-copy views of
+// append-only state and must be treated as immutable — the engines deliver
+// the same Msg value to several recipients.
+type Msg struct {
+	Epoch   int64
+	Hist    []string
+	Port    int
+	Entries []Entry
+}

@@ -1,0 +1,54 @@
+package minbase
+
+import (
+	"fmt"
+	"strconv"
+
+	"anonnet/internal/fibration"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+// BaseOfGraph is the centralized reference implementation: it computes the
+// minimum base of the valued graph (values + leader flags + outdegrees)
+// directly via the fibration machinery and converts it to a Base. The test
+// suite validates the distributed agents against it; analysis code can use
+// it when global knowledge is available.
+func BaseOfGraph(g *graph.Graph, inputs []model.Input) (*Base, *fibration.Fibration, error) {
+	if len(inputs) != g.N() {
+		return nil, nil, fmt.Errorf("minbase: %d inputs for %d vertices", len(inputs), g.N())
+	}
+	labels := make([]string, g.N())
+	for v := range labels {
+		labels[v] = EncodeInput(inputs[v]) + "|od=" + strconv.Itoa(g.OutDegree(v))
+	}
+	fib, err := fibration.MinimumBase(g, labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := fib.Base.N()
+	b := &Base{
+		Values: make([]float64, m),
+		Leader: make([]bool, m),
+		Out:    make([]int, m),
+		D:      make([][]int, m),
+	}
+	// Representative per fibre for values and outdegrees.
+	seen := make([]bool, m)
+	for v, bv := range fib.VertexMap {
+		if seen[bv] {
+			continue
+		}
+		seen[bv] = true
+		b.Values[bv] = inputs[v].Value
+		b.Leader[bv] = inputs[v].Leader
+		b.Out[bv] = g.OutDegree(v)
+	}
+	for i := 0; i < m; i++ {
+		b.D[i] = make([]int, m)
+	}
+	for _, e := range fib.Base.Edges() {
+		b.D[e.From][e.To]++
+	}
+	return b, fib, nil
+}

@@ -1,0 +1,84 @@
+package minbase
+
+// Table is the append-only signature store gossiped by the agents. Entries
+// are immutable and self-certifying (label = hash(sig)), so a message can
+// carry a zero-copy snapshot of the entry slice: the owner only ever
+// appends, and receivers only read the prefix captured at send time.
+type Table struct {
+	entries []Entry
+	index   map[Key]int
+}
+
+// Entry is one (level, label) → signature record.
+type Entry struct {
+	Key Key
+	Sig Sig
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{index: make(map[Key]int)}
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Get looks up a signature.
+func (t *Table) Get(k Key) (Sig, bool) {
+	i, ok := t.index[k]
+	if !ok {
+		return Sig{}, false
+	}
+	return t.entries[i].Sig, true
+}
+
+// Has reports whether the key is present.
+func (t *Table) Has(k Key) bool {
+	_, ok := t.index[k]
+	return ok
+}
+
+// add inserts a (validated) entry; it reports whether the entry was new.
+func (t *Table) add(k Key, s Sig) bool {
+	if _, dup := t.index[k]; dup {
+		return false
+	}
+	t.index[k] = len(t.entries)
+	t.entries = append(t.entries, Entry{Key: k, Sig: s})
+	return true
+}
+
+// Snapshot returns a zero-copy view of the current entries for inclusion
+// in a message. The returned slice must be treated as immutable.
+func (t *Table) Snapshot() []Entry { return t.entries }
+
+// ByLevel groups the entries by level, for candidate extraction.
+func (t *Table) ByLevel() map[int]map[string]Sig {
+	levels := make(map[int]map[string]Sig)
+	for _, e := range t.entries {
+		m := levels[e.Key.Level]
+		if m == nil {
+			m = make(map[string]Sig)
+			levels[e.Key.Level] = m
+		}
+		m[e.Key.Label] = e.Sig
+	}
+	return levels
+}
+
+// validate re-checks every entry's certification (label = hash(sig)); used
+// by the periodic self-audit that detects state corruption.
+func (t *Table) validate() bool {
+	if len(t.entries) != len(t.index) {
+		return false
+	}
+	for _, e := range t.entries {
+		if e.Key.Level < 0 || Label(e.Sig) != e.Key.Label {
+			return false
+		}
+		if i, ok := t.index[e.Key]; !ok || t.entries[i].Key != e.Key {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+// Package pushsum implements Section 5's positive results for dynamic
+// networks with outdegree awareness: the Push-Sum algorithm computing the
+// quot-sum function (Theorem 5.2), its frequency-function form (Algorithm
+// 1) with the exact ℚ_N rounding of Cor. 5.3, the n-known multiset recovery
+// of Cor. 5.4, the leader variant of §5.5, and the
+// continuous-in-frequency evaluation of Cor. 5.5.
+//
+// Push-Sum uses no persistent memory beyond its running (y, z) pair, is not
+// self-stabilizing, but tolerates asynchronous starts (§5.3) — properties
+// the test suite demonstrates.
+package pushsum
+
+import (
+	"anonnet/internal/model"
+)
+
+// QuotMsg is the per-round Push-Sum message: the sender's mass pair already
+// split by its current outdegree (eqs. (6)–(7)).
+type QuotMsg struct {
+	Y, Z float64
+}
+
+// QuotSum is the plain Push-Sum automaton for the quot-sum function
+// qs((v_1,w_1),…,(v_n,w_n)) = Σv / Σw of §5.1. Each agent holds (y, z),
+// initialized to (v_i, w_i); each round it ships y/d, z/d along its d
+// out-edges (self-loop included) and replaces (y, z) by the received sums.
+// The output x = y/z converges to the quot-sum in any dynamic network of
+// finite dynamic diameter.
+type QuotSum struct {
+	y, z float64
+}
+
+var _ model.OutdegreeSender = (*QuotSum)(nil)
+
+// NewQuotSum returns an agent with numerator v and positive weight w.
+func NewQuotSum(v, w float64) *QuotSum { return &QuotSum{y: v, z: w} }
+
+// NewAverageFactory returns the factory computing the average of the input
+// values: Push-Sum with weights w_i = 1.
+func NewAverageFactory() model.Factory {
+	return func(in model.Input) model.Agent { return NewQuotSum(in.Value, 1) }
+}
+
+// SendOutdegree ships the split mass pair.
+func (a *QuotSum) SendOutdegree(outdeg int) model.Message {
+	d := float64(outdeg)
+	return QuotMsg{Y: a.y / d, Z: a.z / d}
+}
+
+// Receive replaces the mass pair by the received sums (eqs. (6)–(7)).
+func (a *QuotSum) Receive(msgs []model.Message) {
+	var y, z float64
+	for _, raw := range msgs {
+		m, ok := raw.(QuotMsg)
+		if !ok {
+			continue
+		}
+		y += m.Y
+		z += m.Z
+	}
+	a.y, a.z = y, z
+}
+
+// Output returns x = y/z.
+func (a *QuotSum) Output() model.Value { return a.y / a.z }
+
+// Mass returns the current (y, z) pair; the conservation property tests use
+// it to check Σy and Σz are invariants.
+func (a *QuotSum) Mass() (y, z float64) { return a.y, a.z }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"anonnet/internal/algorithms/freqcalc"
+	"anonnet/internal/algorithms/gossip"
+	"anonnet/internal/algorithms/metropolis"
+	"anonnet/internal/algorithms/pushsum"
+	"anonnet/internal/funcs"
+	"anonnet/internal/model"
+)
+
+// Setting is one cell of the computability tables, instantiated with
+// concrete parameters.
+type Setting struct {
+	// Kind is the communication model.
+	Kind model.Kind
+	// Static selects Table 1 (static strongly connected) vs Table 2
+	// (dynamic, finite dynamic diameter).
+	Static bool
+	// Row is the centralized-help row.
+	Row Row
+	// BoundN instantiates RowBound (a known bound N ≥ n).
+	BoundN int
+	// KnownN instantiates RowSize (the exact size).
+	KnownN int
+	// Leaders instantiates RowLeader (the known leader count; the leaders
+	// themselves are marked via model.Input.Leader).
+	Leaders int
+}
+
+func (s Setting) validate() error {
+	if !s.Kind.Valid() {
+		return fmt.Errorf("core: invalid model kind %d", int(s.Kind))
+	}
+	switch s.Row {
+	case RowNoHelp:
+	case RowBound:
+		if s.BoundN < 1 {
+			return fmt.Errorf("core: row %v needs BoundN ≥ 1", s.Row)
+		}
+	case RowSize:
+		if s.KnownN < 1 {
+			return fmt.Errorf("core: row %v needs KnownN ≥ 1", s.Row)
+		}
+	case RowLeader:
+		if s.Leaders < 1 {
+			return fmt.Errorf("core: row %v needs Leaders ≥ 1", s.Row)
+		}
+	default:
+		return fmt.Errorf("core: invalid row %d", int(s.Row))
+	}
+	if !s.Static && s.Kind == model.OutputPortAware {
+		return fmt.Errorf("core: output port awareness is only meaningful for static networks (§2.2)")
+	}
+	return nil
+}
+
+// Cell returns the table cell this setting instantiates.
+func (s Setting) Cell() Cell {
+	if s.Static {
+		return StaticCell(s.Kind, s.Row)
+	}
+	return DynamicCell(s.Kind, s.Row)
+}
+
+// NewFactory dispatches a function to the algorithm realizing the
+// setting's positive cell:
+//
+//   - simple broadcast (any network): gossip, for set-based f;
+//   - static od/op/symmetric: the minimum-base + kernel pipeline of §4.2
+//     (freqcalc), exact in finite time, multiset-based with size/leaders;
+//   - dynamic outdegree awareness: Push-Sum (Algorithm 1), with the §5.4
+//     rounding and §5.5 leader variants;
+//   - dynamic symmetric communications: per-value Metropolis consensus
+//     (after [11, 24]), with bound/size reconstruction.
+//
+// It returns an error when the table says the cell cannot compute f —
+// making the impossibility half of the characterization part of the API
+// contract.
+func NewFactory(f funcs.Func, s Setting) (model.Factory, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	cell := s.Cell()
+	if !cell.Class.Contains(f.Class) {
+		return nil, fmt.Errorf("core: %q is %v but the cell (%v, %v, static=%t) computes only %v functions (%s)",
+			f.Name, f.Class, s.Kind, s.Row, s.Static, cell.Class, cell.Source)
+	}
+	// Only the selected row's help parameter reaches the algorithm: a
+	// Setting may carry several filled-in fields (e.g. built generically),
+	// and an algorithm waiting for leaders that the inputs don't mark
+	// would never produce a valid candidate.
+	boundN, knownN, leaders := 0, 0, 0
+	switch s.Row {
+	case RowBound:
+		// A bound does not enlarge the class, but it enables the
+		// finite-state minimum-base variant (§1, Cor. 4.2).
+		boundN = s.BoundN
+	case RowSize:
+		knownN = s.KnownN
+	case RowLeader:
+		leaders = s.Leaders
+	}
+	switch {
+	case s.Kind == model.SimpleBroadcast:
+		return gossip.NewFactory(f)
+	case s.Static:
+		return freqcalc.NewFactory(s.Kind, f, freqcalc.Help{BoundN: boundN, KnownN: knownN, Leaders: leaders})
+	case s.Kind == model.OutdegreeAware:
+		cfg := pushsum.FrequencyConfig{F: f}
+		switch s.Row {
+		case RowNoHelp:
+			cfg.Mode = pushsum.Approximate
+		case RowBound:
+			cfg.Mode = pushsum.RoundToBound
+			cfg.BoundN = s.BoundN
+		case RowSize:
+			cfg.Mode = pushsum.ExactSize
+			cfg.KnownN = s.KnownN
+		case RowLeader:
+			cfg.Mode = pushsum.LeaderCount
+			cfg.Leaders = s.Leaders
+		}
+		return pushsum.NewFrequencyFactory(cfg)
+	case s.Kind == model.Symmetric:
+		cfg := metropolis.FreqConfig{F: f, Variant: metropolis.MaxDegree}
+		switch s.Row {
+		case RowBound:
+			cfg.Mode = metropolis.FreqRoundToBound
+			cfg.BoundN = s.BoundN
+		case RowSize:
+			cfg.Mode = metropolis.FreqExactSize
+			cfg.KnownN = s.KnownN
+			cfg.BoundN = s.KnownN
+		default:
+			// Table 2's no-help and leader symmetric cells are realized in
+			// the paper by Di Luna & Viglietta's history-tree algorithm,
+			// which needs unbounded bandwidth and is not reimplemented
+			// (DESIGN.md §6). There is no bound to size the Metropolis
+			// weights with, so these cells have no runnable factory here.
+			return nil, fmt.Errorf("core: dynamic symmetric row %v is realized by Di Luna & Viglietta's algorithm, not reimplemented (DESIGN.md §6); use RowBound or RowSize", s.Row)
+		}
+		return metropolis.NewFreqFactory(cfg)
+	default:
+		return nil, fmt.Errorf("core: no algorithm for setting %+v", s)
+	}
+}

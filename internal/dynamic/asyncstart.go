@@ -1,0 +1,59 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"anonnet/internal/graph"
+)
+
+// AsyncStart models executions with asynchronous starts (§2.2, §5.3): agent
+// i is activated at round Starts[i] ≥ 1, and following the paper's reduction
+// an edge (i, j) of the base schedule is present at round t iff i == j or
+// t ≥ max(Starts[i], Starts[j]). If the base schedule has dynamic diameter D
+// then the wrapped one has dynamic diameter at most max(Starts) + D.
+type AsyncStart struct {
+	Base   Schedule
+	Starts []int
+}
+
+// NewAsyncStart wraps base with the given start rounds (one per agent,
+// each ≥ 1).
+func NewAsyncStart(base Schedule, starts []int) (*AsyncStart, error) {
+	if len(starts) != base.N() {
+		return nil, fmt.Errorf("dynamic: NewAsyncStart: %d start rounds for %d agents", len(starts), base.N())
+	}
+	for i, s := range starts {
+		if s < 1 {
+			return nil, fmt.Errorf("dynamic: NewAsyncStart: agent %d has start round %d, want ≥ 1", i, s)
+		}
+	}
+	copied := make([]int, len(starts))
+	copy(copied, starts)
+	return &AsyncStart{Base: base, Starts: copied}, nil
+}
+
+// N returns the vertex count.
+func (a *AsyncStart) N() int { return a.Base.N() }
+
+// At returns the round-t graph with pre-start edges removed.
+func (a *AsyncStart) At(t int) *graph.Graph {
+	base := a.Base.At(t)
+	g := graph.New(base.N())
+	for _, e := range base.Edges() {
+		if e.From == e.To || (t >= a.Starts[e.From] && t >= a.Starts[e.To]) {
+			g.AddPortEdge(e.From, e.To, e.Port)
+		}
+	}
+	return g.EnsureSelfLoops()
+}
+
+// MaxStart returns the largest start round.
+func (a *AsyncStart) MaxStart() int {
+	m := 1
+	for _, s := range a.Starts {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,212 @@
+package dynamic
+
+import (
+	"testing"
+
+	"anonnet/internal/graph"
+)
+
+func TestStaticSchedule(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	s := NewStatic(g)
+	if !s.At(1).HasSelfLoops() {
+		t.Fatal("NewStatic did not ensure self-loops")
+	}
+	if s.At(1) != s.At(99) {
+		t.Fatal("static schedule varies with t")
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d, want 3", s.N())
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	a, b := graph.Ring(4), graph.BidirectionalRing(4)
+	p, err := NewPeriodic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(1) != p.At(3) || p.At(2) != p.At(4) {
+		t.Fatal("period-2 schedule broken")
+	}
+	if p.At(1) == p.At(2) {
+		t.Fatal("periodic schedule collapsed")
+	}
+	if _, err := NewPeriodic(); err == nil {
+		t.Fatal("empty periodic accepted")
+	}
+	if _, err := NewPeriodic(graph.Ring(3), graph.Ring(4)); err == nil {
+		t.Fatal("size-mismatched periodic accepted")
+	}
+}
+
+func TestRandomConnectedDeterministicInT(t *testing.T) {
+	s := &RandomConnected{Vertices: 6, ExtraEdges: 2, Seed: 5}
+	g1, g2 := s.At(7), s.At(7)
+	if g1.String() != g2.String() {
+		t.Fatal("At(t) not deterministic")
+	}
+	if s.At(7).String() == s.At(8).String() {
+		t.Fatal("consecutive rounds identical — suspicious seeding")
+	}
+	for tt := 1; tt <= 10; tt++ {
+		g := s.At(tt)
+		if !g.StronglyConnected() || !g.IsSymmetric() || !g.HasSelfLoops() {
+			t.Fatalf("round %d graph invalid", tt)
+		}
+	}
+}
+
+func TestPairwiseDegreeAtMostOne(t *testing.T) {
+	s := &Pairwise{Vertices: 7, Seed: 3}
+	for tt := 1; tt <= 10; tt++ {
+		g := s.At(tt)
+		if !g.IsSymmetric() || !g.HasSelfLoops() {
+			t.Fatalf("round %d not symmetric with loops", tt)
+		}
+		for v := 0; v < 7; v++ {
+			if d := g.OutDegree(v); d > 2 { // self + at most one partner
+				t.Fatalf("round %d vertex %d degree %d", tt, v, d)
+			}
+		}
+	}
+}
+
+func TestSplitRingNeverConnectedButFiniteDiameter(t *testing.T) {
+	s := &SplitRing{Vertices: 8}
+	for tt := 1; tt <= 6; tt++ {
+		if s.At(tt).StronglyConnected() {
+			t.Fatalf("round %d unexpectedly connected", tt)
+		}
+	}
+	d := DynamicDiameter(s, 1, 40)
+	if d < 2 {
+		t.Fatalf("dynamic diameter %d, want ≥ 2 (no single round is connected)", d)
+	}
+	if d == -1 {
+		t.Fatal("split ring should have finite dynamic diameter")
+	}
+}
+
+func TestDynamicDiameterStatic(t *testing.T) {
+	g := graph.Ring(5) // diameter 4
+	if d := DynamicDiameter(NewStatic(g), 1, 20); d != 4 {
+		t.Fatalf("dynamic diameter of static R_5 = %d, want 4", d)
+	}
+	if d := DynamicDiameter(NewStatic(graph.Complete(4)), 1, 5); d != 1 {
+		t.Fatalf("dynamic diameter of K_4 = %d, want 1", d)
+	}
+}
+
+func TestFuncSchedule(t *testing.T) {
+	f := &Func{Vertices: 3, Fn: func(tt int) *graph.Graph {
+		g := graph.New(3)
+		g.AddEdge(tt%3, (tt+1)%3)
+		return g
+	}}
+	if !f.At(2).HasSelfLoops() {
+		t.Fatal("Func.At did not ensure self-loops")
+	}
+	if f.N() != 3 {
+		t.Fatal("N wrong")
+	}
+}
+
+func TestAsyncStart(t *testing.T) {
+	base := NewStatic(graph.Complete(3))
+	a, err := NewAsyncStart(base, []int{1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxStart() != 3 {
+		t.Fatalf("MaxStart = %d, want 3", a.MaxStart())
+	}
+	// Round 1: only agent 0 active; edges touching 1 and 2 removed.
+	g1 := a.At(1)
+	if g1.HasEdge(0, 1) || g1.HasEdge(2, 0) {
+		t.Fatal("pre-start edges present")
+	}
+	if !g1.HasSelfLoops() {
+		t.Fatal("self-loops missing")
+	}
+	// Round 2: agents 0 and 2 active.
+	g2 := a.At(2)
+	if !g2.HasEdge(0, 2) || !g2.HasEdge(2, 0) {
+		t.Fatal("round-2 edges between started agents missing")
+	}
+	if g2.HasEdge(1, 0) {
+		t.Fatal("edge from sleeping agent present")
+	}
+	// Round 3: everything.
+	if a.At(3).M() != base.At(3).M() {
+		t.Fatal("post-start graph should equal the base")
+	}
+	// Validation.
+	if _, err := NewAsyncStart(base, []int{1, 2}); err == nil {
+		t.Fatal("wrong start count accepted")
+	}
+	if _, err := NewAsyncStart(base, []int{0, 1, 1}); err == nil {
+		t.Fatal("start round 0 accepted")
+	}
+}
+
+func TestAsyncStartCopiesStarts(t *testing.T) {
+	starts := []int{1, 2, 3}
+	a, err := NewAsyncStart(NewStatic(graph.Complete(3)), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts[0] = 99
+	if a.Starts[0] == 99 {
+		t.Fatal("NewAsyncStart aliased the caller's slice")
+	}
+}
+
+func TestGrowingGapsStructure(t *testing.T) {
+	g := &GrowingGaps{Base: NewStatic(graph.BidirectionalRing(5))}
+	// Communication at triangular numbers 1, 3, 6, 10, …
+	for _, tc := range []struct {
+		t    int
+		live bool
+	}{{1, true}, {2, false}, {3, true}, {4, false}, {5, false}, {6, true}, {10, true}, {11, false}} {
+		got := g.At(tc.t).M() > g.N() // more than just self-loops
+		if got != tc.live {
+			t.Errorf("round %d: live=%t, want %t", tc.t, got, tc.live)
+		}
+	}
+	// No finite dynamic diameter within any fixed window: the observed
+	// "diameter" grows as the horizon grows.
+	d1 := DynamicDiameter(g, 1, 30)
+	d2 := DynamicDiameter(g, 40, 80)
+	if d1 != -1 && d2 != -1 && d2 <= d1 {
+		t.Errorf("dynamic diameter did not degrade with the horizon: %d then %d", d1, d2)
+	}
+}
+
+func TestEdgeMarkov(t *testing.T) {
+	m := &EdgeMarkov{Template: graph.BidirectionalRing(6), POn: 0.5, POff: 0.3, Seed: 4}
+	if m.At(5).String() != m.At(5).String() {
+		t.Fatal("At not deterministic")
+	}
+	for tt := 1; tt <= 8; tt++ {
+		g := m.At(tt)
+		if !g.IsSymmetric() || !g.HasSelfLoops() || g.N() != 6 {
+			t.Fatalf("round %d graph invalid", tt)
+		}
+		// Only template edges may appear.
+		for _, e := range g.Edges() {
+			if e.From != e.To && !m.Template.HasEdge(e.From, e.To) {
+				t.Fatalf("round %d: non-template edge %v", tt, e)
+			}
+		}
+	}
+	// With these rates the dynamic diameter is finite on a sampled window.
+	if d := DynamicDiameter(m, 1, 60); d == -1 {
+		t.Fatal("no finite dynamic diameter observed on the sample")
+	}
+	// Round 1 is the full template.
+	if m.At(1).M() != m.Template.EnsureSelfLoops().M() {
+		t.Fatalf("round 1 should be the full template")
+	}
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"anonnet/internal/dynamic"
+	"anonnet/internal/model"
+)
+
+// Concurrent is the goroutine-per-agent runner: each agent's automaton runs
+// in its own goroutine, and rounds are driven by a channel barrier. The
+// observable behaviour (trace of outputs) is identical to the sequential
+// Engine for equal Config — the round structure of the model is a global
+// synchrony assumption, so the concurrency is in the agents' internal
+// computations, exactly as on real synchronous hardware.
+type Concurrent struct {
+	cfg      Config
+	schedule dynamic.Schedule
+	agents   []model.Agent
+	round    int
+	rng      *rand.Rand
+
+	reqs     []chan workerReq
+	resps    []chan workerResp
+	closed   bool
+	messages int64
+	wg       sync.WaitGroup
+}
+
+var _ Runner = (*Concurrent)(nil)
+
+type workerPhase int
+
+const (
+	phaseSend workerPhase = iota + 1
+	phaseReceive
+	phaseCorrupt
+	phaseStop
+)
+
+type workerReq struct {
+	phase  workerPhase
+	outdeg int
+	inbox  []model.Message
+	junk   int64
+}
+
+type workerResp struct {
+	msgs      []model.Message
+	corrupted bool
+	err       error
+}
+
+// NewConcurrent validates cfg, instantiates the agents, and starts one
+// worker goroutine per agent. Callers must Close the engine to stop the
+// workers.
+func NewConcurrent(cfg Config) (*Concurrent, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	schedule := cfg.Schedule
+	if cfg.Starts != nil {
+		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
+		if err != nil {
+			return nil, err
+		}
+		schedule = wrapped
+	}
+	agents := make([]model.Agent, len(cfg.Inputs))
+	for i, in := range cfg.Inputs {
+		agents[i] = cfg.Factory(in)
+		if agents[i] == nil {
+			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
+		}
+	}
+	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
+		return nil, err
+	}
+	c := &Concurrent{
+		cfg:      cfg,
+		schedule: schedule,
+		agents:   agents,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		reqs:     make([]chan workerReq, len(agents)),
+		resps:    make([]chan workerResp, len(agents)),
+	}
+	for i := range agents {
+		c.reqs[i] = make(chan workerReq)
+		c.resps[i] = make(chan workerResp)
+		c.wg.Add(1)
+		go c.worker(i)
+	}
+	return c, nil
+}
+
+// worker runs agent i's automaton: it blocks on the request channel,
+// performs the requested phase on the agent it exclusively owns during the
+// phase, and replies.
+func (c *Concurrent) worker(i int) {
+	defer c.wg.Done()
+	a := c.agents[i]
+	for req := range c.reqs[i] {
+		switch req.phase {
+		case phaseSend:
+			msgs, err := sendPhase(a, c.cfg.Kind, i, req.outdeg)
+			c.resps[i] <- workerResp{msgs: msgs, err: err}
+		case phaseReceive:
+			a.Receive(req.inbox)
+			c.resps[i] <- workerResp{}
+		case phaseCorrupt:
+			corr, ok := a.(model.Corruptible)
+			if ok {
+				corr.Corrupt(req.junk)
+			}
+			c.resps[i] <- workerResp{corrupted: ok}
+		case phaseStop:
+			c.resps[i] <- workerResp{}
+			return
+		}
+	}
+}
+
+// N returns the number of agents.
+func (c *Concurrent) N() int { return len(c.agents) }
+
+// Round returns the number of completed rounds.
+func (c *Concurrent) Round() int { return c.round }
+
+// Outputs returns the current outputs. It must not be called concurrently
+// with Step; between rounds the workers are quiescent and the channel
+// synchronization makes their writes visible.
+func (c *Concurrent) Outputs() []model.Value {
+	out := make([]model.Value, len(c.agents))
+	for i, a := range c.agents {
+		out[i] = a.Output()
+	}
+	return out
+}
+
+// Step executes one round with the same semantics (and trace) as
+// Engine.Step.
+func (c *Concurrent) Step() error {
+	if c.closed {
+		return fmt.Errorf("engine: Step on closed concurrent engine")
+	}
+	t := c.round + 1
+	g, active, err := prepareRound(c.schedule, c.cfg.Kind, c.cfg.Starts, len(c.agents), t)
+	if err != nil {
+		return err
+	}
+	// Send phase: fan out to all active workers, then collect.
+	for i := range c.agents {
+		if active[i] {
+			c.reqs[i] <- workerReq{phase: phaseSend, outdeg: g.OutDegree(i)}
+		}
+	}
+	sent := make([][]model.Message, len(c.agents))
+	var firstErr error
+	for i := range c.agents {
+		if !active[i] {
+			continue
+		}
+		resp := <-c.resps[i]
+		if resp.err != nil && firstErr == nil {
+			firstErr = resp.err
+		}
+		sent[i] = resp.msgs
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// Routing, identical to the sequential engine's.
+	inboxes := make([][]model.Message, len(c.agents))
+	for i := range c.agents {
+		if !active[i] {
+			continue
+		}
+		for _, ei := range g.OutEdges(i) {
+			e := g.Edge(ei)
+			if !active[e.To] {
+				continue
+			}
+			var m model.Message
+			if c.cfg.Kind == model.OutputPortAware {
+				if e.Port < 1 || e.Port > len(sent[i]) {
+					return fmt.Errorf("engine: agent %d: edge port %d out of range 1..%d", i, e.Port, len(sent[i]))
+				}
+				m = sent[i][e.Port-1]
+			} else {
+				m = sent[i][0]
+			}
+			inboxes[e.To] = append(inboxes[e.To], m)
+		}
+	}
+	for i := range c.agents {
+		if active[i] {
+			c.messages += int64(len(inboxes[i]))
+			shuffleMessages(inboxes[i], c.rng)
+		}
+	}
+	// Receive phase.
+	for i := range c.agents {
+		if active[i] {
+			c.reqs[i] <- workerReq{phase: phaseReceive, inbox: inboxes[i]}
+		}
+	}
+	for i := range c.agents {
+		if active[i] {
+			<-c.resps[i]
+		}
+	}
+	c.round = t
+	return nil
+}
+
+// Corrupt scrambles every Corruptible agent's state, through the workers so
+// ownership is respected.
+func (c *Concurrent) Corrupt(junk int64) int {
+	if c.closed {
+		return 0
+	}
+	for i := range c.agents {
+		c.reqs[i] <- workerReq{phase: phaseCorrupt, junk: junk + int64(i)*7919}
+	}
+	count := 0
+	for i := range c.agents {
+		if (<-c.resps[i]).corrupted {
+			count++
+		}
+	}
+	return count
+}
+
+// Stats returns cumulative execution statistics.
+func (c *Concurrent) Stats() Stats {
+	return Stats{Rounds: c.round, MessagesDelivered: c.messages}
+}
+
+// Close stops the worker goroutines. It is idempotent.
+func (c *Concurrent) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for i := range c.agents {
+		c.reqs[i] <- workerReq{phase: phaseStop}
+		<-c.resps[i]
+		close(c.reqs[i])
+	}
+	c.wg.Wait()
+}

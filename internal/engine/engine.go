@@ -1,0 +1,324 @@
+// Package engine executes algorithms on networks under the round semantics
+// of §2.2: in each round t every agent sends according to its model's
+// sending function, the communication graph 𝔾(t) routes the messages, and
+// every agent applies its transition function to the received multiset.
+//
+// Two interchangeable runners implement the semantics: a deterministic
+// sequential engine and a concurrent engine with one goroutine per agent.
+// A property test asserts they produce identical traces for deterministic
+// agents.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anonnet/internal/dynamic"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+// Config describes one execution: the network, the communication model, the
+// inputs, and the algorithm (as an agent factory).
+type Config struct {
+	// Schedule is the dynamic graph 𝔾; use dynamic.NewStatic for static
+	// networks.
+	Schedule dynamic.Schedule
+	// Kind is the communication model.
+	Kind model.Kind
+	// Inputs holds one private input per agent.
+	Inputs []model.Input
+	// Factory builds the identical automaton run by every agent.
+	Factory model.Factory
+	// Seed drives the delivery-order shuffling that enforces multiset
+	// semantics. Two runs with equal Config produce equal traces.
+	Seed int64
+	// Starts optionally gives per-agent activation rounds (≥ 1) for
+	// executions with asynchronous starts (§2.2); nil means all agents
+	// start at round 1.
+	Starts []int
+}
+
+func (c *Config) validate() error {
+	if c.Schedule == nil {
+		return fmt.Errorf("engine: nil schedule")
+	}
+	if !c.Kind.Valid() {
+		return fmt.Errorf("engine: invalid model kind %d", int(c.Kind))
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("engine: nil agent factory")
+	}
+	if len(c.Inputs) != c.Schedule.N() {
+		return fmt.Errorf("engine: %d inputs for %d agents", len(c.Inputs), c.Schedule.N())
+	}
+	if c.Starts != nil && len(c.Starts) != len(c.Inputs) {
+		return fmt.Errorf("engine: %d start rounds for %d agents", len(c.Starts), len(c.Inputs))
+	}
+	for i, s := range c.Starts {
+		if s < 1 {
+			return fmt.Errorf("engine: agent %d has start round %d, want ≥ 1", i, s)
+		}
+	}
+	return nil
+}
+
+// Runner is the common interface of the sequential and concurrent engines.
+type Runner interface {
+	// Step executes one round.
+	Step() error
+	// Round returns the number of completed rounds.
+	Round() int
+	// Outputs returns the agents' current output values x_i(t).
+	Outputs() []model.Value
+	// N returns the number of agents.
+	N() int
+	// Corrupt scrambles the volatile state of every Corruptible agent, for
+	// self-stabilization experiments; it reports how many agents were
+	// corrupted.
+	Corrupt(junk int64) int
+	// Stats returns cumulative execution statistics.
+	Stats() Stats
+	// Close releases resources (goroutines, for the concurrent engine).
+	Close()
+}
+
+// Stats are cumulative execution statistics, for communication-cost
+// reporting.
+type Stats struct {
+	// Rounds is the number of completed rounds.
+	Rounds int
+	// MessagesDelivered counts every delivered message (one per edge per
+	// round between active agents).
+	MessagesDelivered int64
+}
+
+// Engine is the deterministic sequential runner.
+type Engine struct {
+	cfg      Config
+	schedule dynamic.Schedule
+	agents   []model.Agent
+	round    int
+	rng      *rand.Rand
+	messages int64
+}
+
+var _ Runner = (*Engine)(nil)
+
+// New validates cfg, instantiates the agents, and returns a sequential
+// engine positioned before round 1.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	schedule := cfg.Schedule
+	if cfg.Starts != nil {
+		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
+		if err != nil {
+			return nil, err
+		}
+		schedule = wrapped
+	}
+	agents := make([]model.Agent, len(cfg.Inputs))
+	for i, in := range cfg.Inputs {
+		agents[i] = cfg.Factory(in)
+		if agents[i] == nil {
+			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
+		}
+	}
+	e := &Engine{
+		cfg:      cfg,
+		schedule: schedule,
+		agents:   agents,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func checkAgentKinds(agents []model.Agent, kind model.Kind) error {
+	for i, a := range agents {
+		var ok bool
+		switch kind {
+		case model.SimpleBroadcast, model.Symmetric:
+			_, ok = a.(model.Broadcaster)
+		case model.OutdegreeAware:
+			_, ok = a.(model.OutdegreeSender)
+		case model.OutputPortAware:
+			_, ok = a.(model.PortSender)
+		}
+		if !ok {
+			return fmt.Errorf("engine: agent %d (%T) does not implement the sender interface of %v", i, a, kind)
+		}
+	}
+	return nil
+}
+
+// N returns the number of agents.
+func (e *Engine) N() int { return len(e.agents) }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Agent returns agent i, for white-box tests.
+func (e *Engine) Agent(i int) model.Agent { return e.agents[i] }
+
+// Outputs returns the current outputs x_i(t).
+func (e *Engine) Outputs() []model.Value {
+	out := make([]model.Value, len(e.agents))
+	for i, a := range e.agents {
+		out[i] = a.Output()
+	}
+	return out
+}
+
+// Close is a no-op for the sequential engine.
+func (e *Engine) Close() {}
+
+// Stats returns cumulative execution statistics.
+func (e *Engine) Stats() Stats {
+	return Stats{Rounds: e.round, MessagesDelivered: e.messages}
+}
+
+// Corrupt scrambles every Corruptible agent's state.
+func (e *Engine) Corrupt(junk int64) int {
+	count := 0
+	for i, a := range e.agents {
+		if c, ok := a.(model.Corruptible); ok {
+			c.Corrupt(junk + int64(i)*7919)
+			count++
+		}
+	}
+	return count
+}
+
+// Step executes one round: send, route, shuffle, receive.
+func (e *Engine) Step() error {
+	t := e.round + 1
+	g, active, err := e.roundGraph(t)
+	if err != nil {
+		return err
+	}
+	inboxes, err := routeRound(g, e.cfg.Kind, active, func(i int) model.Agent { return e.agents[i] })
+	if err != nil {
+		return err
+	}
+	for i := range e.agents {
+		if !active[i] {
+			continue
+		}
+		e.messages += int64(len(inboxes[i]))
+		shuffleMessages(inboxes[i], e.rng)
+	}
+	for i, a := range e.agents {
+		if active[i] {
+			a.Receive(inboxes[i])
+		}
+	}
+	e.round = t
+	return nil
+}
+
+// roundGraph fetches and validates the round-t communication graph and the
+// activity mask.
+func (e *Engine) roundGraph(t int) (*graph.Graph, []bool, error) {
+	return prepareRound(e.schedule, e.cfg.Kind, e.cfg.Starts, len(e.agents), t)
+}
+
+func prepareRound(s dynamic.Schedule, kind model.Kind, starts []int, n, t int) (*graph.Graph, []bool, error) {
+	g := s.At(t)
+	if g == nil {
+		return nil, nil, fmt.Errorf("engine: schedule returned nil graph at round %d", t)
+	}
+	if g.N() != n {
+		return nil, nil, fmt.Errorf("engine: round %d graph has %d vertices, want %d", t, g.N(), n)
+	}
+	if !g.HasSelfLoops() {
+		return nil, nil, fmt.Errorf("engine: round %d graph lacks self-loops (§2.1 requires them)", t)
+	}
+	if kind == model.Symmetric && !g.IsSymmetric() {
+		return nil, nil, fmt.Errorf("engine: round %d graph is not symmetric but the model is %v", t, kind)
+	}
+	if kind == model.OutputPortAware && !g.PortsValid() {
+		return nil, nil, fmt.Errorf("engine: round %d graph has no valid port labelling (use Graph.AssignPorts)", t)
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = starts == nil || t >= starts[i]
+	}
+	return g, active, nil
+}
+
+// routeRound performs the send phase and routes messages into per-agent
+// inboxes. It is shared by both engines; getAgent abstracts where the agent
+// lives.
+func routeRound(g *graph.Graph, kind model.Kind, active []bool, getAgent func(int) model.Agent) ([][]model.Message, error) {
+	n := g.N()
+	inboxes := make([][]model.Message, n)
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		outEdges := g.OutEdges(i)
+		msgs, err := sendPhase(getAgent(i), kind, i, len(outEdges))
+		if err != nil {
+			return nil, err
+		}
+		for _, ei := range outEdges {
+			e := g.Edge(ei)
+			if !active[e.To] {
+				continue
+			}
+			var m model.Message
+			if kind == model.OutputPortAware {
+				port := e.Port
+				if port < 1 || port > len(msgs) {
+					return nil, fmt.Errorf("engine: agent %d: edge port %d out of range 1..%d", i, port, len(msgs))
+				}
+				m = msgs[port-1]
+			} else {
+				m = msgs[0]
+			}
+			inboxes[e.To] = append(inboxes[e.To], m)
+		}
+	}
+	return inboxes, nil
+}
+
+// sendPhase applies the model's sending function.
+func sendPhase(a model.Agent, kind model.Kind, idx, outdeg int) ([]model.Message, error) {
+	switch kind {
+	case model.SimpleBroadcast, model.Symmetric:
+		b, ok := a.(model.Broadcaster)
+		if !ok {
+			return nil, fmt.Errorf("engine: agent %d (%T) is not a Broadcaster", idx, a)
+		}
+		return []model.Message{b.Send()}, nil
+	case model.OutdegreeAware:
+		s, ok := a.(model.OutdegreeSender)
+		if !ok {
+			return nil, fmt.Errorf("engine: agent %d (%T) is not an OutdegreeSender", idx, a)
+		}
+		return []model.Message{s.SendOutdegree(outdeg)}, nil
+	case model.OutputPortAware:
+		s, ok := a.(model.PortSender)
+		if !ok {
+			return nil, fmt.Errorf("engine: agent %d (%T) is not a PortSender", idx, a)
+		}
+		msgs := s.SendPorts(outdeg)
+		if len(msgs) != outdeg {
+			return nil, fmt.Errorf("engine: agent %d returned %d port messages, want %d", idx, len(msgs), outdeg)
+		}
+		return msgs, nil
+	default:
+		return nil, fmt.Errorf("engine: invalid model kind %d", int(kind))
+	}
+}
+
+// shuffleMessages randomizes delivery order so agents cannot rely on any
+// ordering of the received multiset.
+func shuffleMessages(msgs []model.Message, rng *rand.Rand) {
+	rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+}

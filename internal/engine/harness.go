@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"anonnet/internal/model"
+)
+
+// This file implements the observation side of §2.3: computability is
+// asymptotic convergence of every output sequence (x_i(t)) to f(v), so the
+// harness runs executions and detects either exact stabilization (discrete
+// metric) or ε-agreement (Euclidean metric).
+
+// StableResult reports an exact-stabilization run.
+type StableResult struct {
+	// Stable is true when outputs stopped changing for the requested
+	// patience window within the round budget.
+	Stable bool
+	// StabilizedAt is the first round from which outputs never changed
+	// again during the run (meaningful when Stable).
+	StabilizedAt int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Outputs is the final output vector.
+	Outputs []model.Value
+}
+
+// RunUntilStable steps r until the outputs are unchanged (distance 0 under
+// met) for `patience` consecutive rounds, or until maxRounds. The discrete
+// metric makes this "computation in finite time" detection (§2.3).
+func RunUntilStable(r Runner, met model.Metric, patience, maxRounds int) (*StableResult, error) {
+	if patience < 1 {
+		return nil, fmt.Errorf("engine: RunUntilStable: patience %d, want ≥ 1", patience)
+	}
+	prev := r.Outputs()
+	stableSince := 0
+	unchanged := 0
+	for t := 1; t <= maxRounds; t++ {
+		if err := r.Step(); err != nil {
+			return nil, err
+		}
+		cur := r.Outputs()
+		if outputsEqual(prev, cur, met) {
+			if unchanged == 0 {
+				stableSince = r.Round() - 1
+			}
+			unchanged++
+			if unchanged >= patience {
+				return &StableResult{Stable: true, StabilizedAt: stableSince, Rounds: r.Round(), Outputs: cur}, nil
+			}
+		} else {
+			unchanged = 0
+		}
+		prev = cur
+	}
+	return &StableResult{Stable: false, Rounds: r.Round(), Outputs: prev}, nil
+}
+
+func outputsEqual(a, b []model.Value, met model.Metric) bool {
+	for i := range a {
+		if met(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CloseResult reports an ε-agreement run.
+type CloseResult struct {
+	// Converged is true when every output came within eps of target before
+	// the round budget ran out.
+	Converged bool
+	// Rounds is the round at which convergence was first observed (or the
+	// budget if not converged).
+	Rounds int
+	// MaxErr is the final maximal distance to target.
+	MaxErr float64
+	// Outputs is the final output vector.
+	Outputs []model.Value
+}
+
+// RunUntilClose steps r until max_i δ(x_i(t), target) ≤ eps, or until
+// maxRounds — the Euclidean-metric computability criterion of §2.3 with the
+// limit known to the harness.
+func RunUntilClose(r Runner, target model.Value, met model.Metric, eps float64, maxRounds int) (*CloseResult, error) {
+	var res CloseResult
+	for t := 1; t <= maxRounds; t++ {
+		if err := r.Step(); err != nil {
+			return nil, err
+		}
+		res.Outputs = r.Outputs()
+		res.MaxErr = maxDistance(res.Outputs, target, met)
+		res.Rounds = r.Round()
+		if res.MaxErr <= eps {
+			res.Converged = true
+			return &res, nil
+		}
+	}
+	return &res, nil
+}
+
+func maxDistance(outputs []model.Value, target model.Value, met model.Metric) float64 {
+	worst := 0.0
+	for _, o := range outputs {
+		d := met(o, target)
+		if math.IsNaN(d) {
+			return math.Inf(1)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RunRounds steps r exactly `rounds` times and returns the history of
+// output vectors, history[t] being the outputs after round t+1.
+func RunRounds(r Runner, rounds int) ([][]model.Value, error) {
+	history := make([][]model.Value, 0, rounds)
+	for t := 0; t < rounds; t++ {
+		if err := r.Step(); err != nil {
+			return history, err
+		}
+		history = append(history, r.Outputs())
+	}
+	return history, nil
+}

@@ -1,0 +1,165 @@
+// Package fibration implements graph fibrations (§3): fibration checking,
+// minimum bases via coarsest stable partitions, fibres, coverings, the
+// lifting of valuations along fibrations (Lemma 3.1's machinery), and
+// constructions of total graphs fibred over a prescribed base with
+// prescribed fibre cardinalities (the test harness for §4).
+package fibration
+
+import (
+	"fmt"
+
+	"anonnet/internal/graph"
+)
+
+// Fibration is a fibration φ : Total → Base, given by its vertex and edge
+// components. The package constructs only epimorphic fibrations, per the
+// paper's restriction (§3).
+type Fibration struct {
+	Total *graph.Graph
+	Base  *graph.Graph
+	// VertexMap[v] is φ(v) for each Total vertex v.
+	VertexMap []int
+	// EdgeMap[e] is φ(e) for each Total edge index e.
+	EdgeMap []int
+}
+
+// Check verifies that f is a well-formed epimorphic fibration:
+// a graph morphism (commuting with source and target, preserving ports),
+// surjective on vertices and edges, with the unique-lifting property: for
+// every base edge e and every total vertex i with φ(i) = target(e), exactly
+// one total edge ẽ has φ(ẽ) = e and target(ẽ) = i. If vertex label slices
+// are supplied (non-nil), it additionally verifies v_Total = v_Base ∘ φ.
+func (f *Fibration) Check(totalLabels, baseLabels []string) error {
+	g, b := f.Total, f.Base
+	if len(f.VertexMap) != g.N() {
+		return fmt.Errorf("fibration: vertex map has %d entries, want %d", len(f.VertexMap), g.N())
+	}
+	if len(f.EdgeMap) != g.M() {
+		return fmt.Errorf("fibration: edge map has %d entries, want %d", len(f.EdgeMap), g.M())
+	}
+	vertexHit := make([]bool, b.N())
+	for v, bv := range f.VertexMap {
+		if bv < 0 || bv >= b.N() {
+			return fmt.Errorf("fibration: vertex %d maps to out-of-range base vertex %d", v, bv)
+		}
+		vertexHit[bv] = true
+		if totalLabels != nil && baseLabels != nil && totalLabels[v] != baseLabels[bv] {
+			return fmt.Errorf("fibration: vertex %d has label %q but its image %d has label %q",
+				v, totalLabels[v], bv, baseLabels[bv])
+		}
+	}
+	for bv, hit := range vertexHit {
+		if !hit {
+			return fmt.Errorf("fibration: not epimorphic: base vertex %d has empty fibre", bv)
+		}
+	}
+	edgeHit := make([]bool, b.M())
+	for ei, bei := range f.EdgeMap {
+		if bei < 0 || bei >= b.M() {
+			return fmt.Errorf("fibration: edge %d maps to out-of-range base edge %d", ei, bei)
+		}
+		edgeHit[bei] = true
+		e, be := g.Edge(ei), b.Edge(bei)
+		if f.VertexMap[e.From] != be.From {
+			return fmt.Errorf("fibration: edge %d: source %d maps to %d, want %d",
+				ei, e.From, f.VertexMap[e.From], be.From)
+		}
+		if f.VertexMap[e.To] != be.To {
+			return fmt.Errorf("fibration: edge %d: target %d maps to %d, want %d",
+				ei, e.To, f.VertexMap[e.To], be.To)
+		}
+		if e.Port != be.Port {
+			return fmt.Errorf("fibration: edge %d has port %d but its image has port %d",
+				ei, e.Port, be.Port)
+		}
+	}
+	for bei, hit := range edgeHit {
+		if !hit {
+			return fmt.Errorf("fibration: not epimorphic: base edge %d has no preimage", bei)
+		}
+	}
+	// Unique lifting: per total vertex i and base edge e with
+	// target(e) = φ(i), exactly one in-edge of i over e.
+	for i := 0; i < g.N(); i++ {
+		counts := make(map[int]int)
+		for _, ei := range g.InEdges(i) {
+			counts[f.EdgeMap[ei]]++
+		}
+		for _, bei := range b.InEdges(f.VertexMap[i]) {
+			if counts[bei] != 1 {
+				return fmt.Errorf("fibration: unique lifting fails: vertex %d has %d lifts of base edge %d, want 1",
+					i, counts[bei], bei)
+			}
+		}
+		// Every in-edge of i must sit over an in-edge of φ(i); the target
+		// condition above already forces this, so counts has no strays.
+	}
+	return nil
+}
+
+// Fibre returns the fibre φ⁻¹(bv), sorted.
+func (f *Fibration) Fibre(bv int) []int {
+	var out []int
+	for v, w := range f.VertexMap {
+		if w == bv {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FibreCardinalities returns |φ⁻¹(i)| for every base vertex i — the z
+// vector whose recovery is the crux of §4.2.
+func (f *Fibration) FibreCardinalities() []int {
+	out := make([]int, f.Base.N())
+	for _, w := range f.VertexMap {
+		out[w]++
+	}
+	return out
+}
+
+// IsCovering reports whether the fibration is a covering: for every total
+// vertex, out-edges are in bijection with the out-edges of its image. With
+// output port awareness every fibration is a covering (§4.3).
+func (f *Fibration) IsCovering() bool {
+	for v := 0; v < f.Total.N(); v++ {
+		counts := make(map[int]int)
+		for _, ei := range f.Total.OutEdges(v) {
+			counts[f.EdgeMap[ei]]++
+		}
+		outB := f.Base.OutEdges(f.VertexMap[v])
+		if len(counts) != len(outB) {
+			return false
+		}
+		for _, bei := range outB {
+			if counts[bei] != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LiftValuation lifts a valuation of the base to the total graph fibrewise:
+// (v^φ)_i = v_{φ(i)} (§3.1).
+func LiftValuation[T any](f *Fibration, baseVals []T) []T {
+	out := make([]T, f.Total.N())
+	for v, w := range f.VertexMap {
+		out[v] = baseVals[w]
+	}
+	return out
+}
+
+// Identity returns the identity fibration on g (every isomorphism is a
+// fibration; the identity is the degenerate case).
+func Identity(g *graph.Graph) *Fibration {
+	vm := make([]int, g.N())
+	em := make([]int, g.M())
+	for i := range vm {
+		vm[i] = i
+	}
+	for i := range em {
+		em[i] = i
+	}
+	return &Fibration{Total: g, Base: g, VertexMap: vm, EdgeMap: em}
+}

@@ -1,0 +1,355 @@
+package fibration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anonnet/internal/graph"
+)
+
+func TestIdentityIsFibration(t *testing.T) {
+	g := graph.Ring(5)
+	if err := Identity(g).Check(nil, nil); err != nil {
+		t.Fatalf("identity fibration invalid: %v", err)
+	}
+}
+
+func TestRingFibrationValid(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{6, 3}, {6, 2}, {12, 4}, {5, 5}, {4, 1}} {
+		fib, err := RingFibration(c.n, c.p)
+		if err != nil {
+			t.Fatalf("RingFibration(%d,%d): %v", c.n, c.p, err)
+		}
+		if err := fib.Check(nil, nil); err != nil {
+			t.Errorf("RingFibration(%d,%d) invalid: %v", c.n, c.p, err)
+		}
+		cards := fib.FibreCardinalities()
+		for i, z := range cards {
+			if z != c.n/c.p {
+				t.Errorf("RingFibration(%d,%d): fibre %d has %d members, want %d", c.n, c.p, i, z, c.n/c.p)
+			}
+		}
+		if !fib.IsCovering() {
+			t.Errorf("RingFibration(%d,%d) is not a covering", c.n, c.p)
+		}
+	}
+}
+
+func TestRingFibrationRejectsNonDivisor(t *testing.T) {
+	if _, err := RingFibration(7, 3); err == nil {
+		t.Fatal("RingFibration(7,3) should fail")
+	}
+}
+
+func TestMinimumBaseRing(t *testing.T) {
+	// An unlabelled ring collapses to a single vertex (all agents look
+	// alike): the minimum base is fibration prime with one vertex.
+	fib, err := MinimumBase(graph.Ring(6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Base.N() != 1 {
+		t.Fatalf("minimum base of R_6 has %d vertices, want 1", fib.Base.N())
+	}
+	if err := fib.Check(nil, nil); err != nil {
+		t.Fatalf("minimum base fibration invalid: %v", err)
+	}
+}
+
+func TestMinimumBaseValuedRing(t *testing.T) {
+	// Alternating values a,b,a,b,a,b on R_6: base is R_2 with values a,b.
+	labels := []string{"a", "b", "a", "b", "a", "b"}
+	fib, err := MinimumBase(graph.Ring(6), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Base.N() != 2 {
+		t.Fatalf("base has %d vertices, want 2", fib.Base.N())
+	}
+	if err := fib.Check(labels, baseLabels(fib, labels)); err != nil {
+		t.Fatalf("fibration invalid: %v", err)
+	}
+	cards := fib.FibreCardinalities()
+	if cards[0] != 3 || cards[1] != 3 {
+		t.Fatalf("fibre cardinalities %v, want [3 3]", cards)
+	}
+}
+
+// baseLabels reads the induced base labelling off the fibration.
+func baseLabels(f *Fibration, totalLabels []string) []string {
+	out := make([]string, f.Base.N())
+	for v, bv := range f.VertexMap {
+		out[bv] = totalLabels[v]
+	}
+	return out
+}
+
+func TestMinimumBaseAsymmetricValues(t *testing.T) {
+	// With all-distinct values nothing collapses: the graph is its own
+	// minimum base.
+	g := graph.Ring(5)
+	labels := []string{"a", "b", "c", "d", "e"}
+	fib, err := MinimumBase(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Base.N() != 5 {
+		t.Fatalf("base has %d vertices, want 5", fib.Base.N())
+	}
+	prime, err := IsPrime(g, labels)
+	if err != nil || !prime {
+		t.Fatalf("IsPrime = %t, %v; want true", prime, err)
+	}
+}
+
+func TestMinimumBaseStar(t *testing.T) {
+	// Star with identical leaves: base has 2 vertices (center, leaf
+	// class).
+	g := graph.Star(6)
+	fib, err := MinimumBase(g, []string{"c", "l", "l", "l", "l", "l"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Base.N() != 2 {
+		t.Fatalf("base of star has %d vertices, want 2", fib.Base.N())
+	}
+	cards := fib.FibreCardinalities()
+	if cards[0]+cards[1] != 6 || (cards[0] != 1 && cards[1] != 1) {
+		t.Fatalf("fibre cardinalities %v, want {1, 5}", cards)
+	}
+}
+
+func TestMinimumBaseHypercube(t *testing.T) {
+	// Unlabelled hypercube is vertex-transitive: base is a single vertex
+	// with d+1 self-loops (degree preserved as in-edge count).
+	fib, err := MinimumBase(graph.Hypercube(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Base.N() != 1 {
+		t.Fatalf("base has %d vertices, want 1", fib.Base.N())
+	}
+	if fib.Base.M() != 4 {
+		t.Fatalf("base has %d edges, want 4 (3 dimensions + self-loop)", fib.Base.M())
+	}
+}
+
+func TestMinimumBaseDeBruijn(t *testing.T) {
+	// B(2, 3) fibres over B(2, 2) and further down to B(2, 0) (one
+	// vertex): the unlabelled minimum base is a single vertex with 2
+	// self-loops... plus the added self-loops make in-views equal, so all
+	// 8 vertices collapse.
+	fib, err := MinimumBase(graph.DeBruijn(2, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fib.Check(nil, nil); err != nil {
+		t.Fatalf("invalid fibration: %v", err)
+	}
+	if fib.Base.N() >= 8 {
+		t.Fatalf("de Bruijn base should be smaller than the graph, got %d vertices", fib.Base.N())
+	}
+}
+
+func TestMinimumBaseIsPrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := []*graph.Graph{
+		graph.Ring(6), graph.Star(5), graph.Hypercube(2),
+		graph.BidirectionalRing(8), graph.Torus(2, 3),
+		graph.RandomStronglyConnected(9, 7, rng),
+	}
+	for i, g := range graphs {
+		fib, err := MinimumBase(g, nil)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if err := fib.Check(nil, nil); err != nil {
+			t.Fatalf("graph %d: invalid fibration: %v", i, err)
+		}
+		prime, err := IsPrime(fib.Base, nil)
+		if err != nil {
+			t.Fatalf("graph %d: IsPrime: %v", i, err)
+		}
+		if !prime {
+			t.Errorf("graph %d: minimum base is not fibration prime: %v", i, fib.Base)
+		}
+	}
+}
+
+func TestLiftCoverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bases := []*graph.Graph{
+		graph.Ring(3),
+		graph.Star(4).AssignPorts(),
+		graph.RandomStronglyConnected(5, 4, rng),
+	}
+	for bi, base := range bases {
+		for _, k := range []int{2, 3} {
+			fib, err := LiftCover(base, k, rng)
+			if err != nil {
+				t.Fatalf("base %d fold %d: %v", bi, k, err)
+			}
+			if err := fib.Check(nil, nil); err != nil {
+				t.Fatalf("base %d fold %d: invalid: %v", bi, k, err)
+			}
+			if !fib.IsCovering() {
+				t.Errorf("base %d fold %d: not a covering", bi, k)
+			}
+			for _, z := range fib.FibreCardinalities() {
+				if z != k {
+					t.Errorf("base %d fold %d: fibre size %d", bi, k, z)
+				}
+			}
+			if !fib.Total.StronglyConnected() {
+				t.Errorf("base %d fold %d: lift not strongly connected", bi, k)
+			}
+		}
+	}
+}
+
+func TestLiftFibredRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Base: star-like multigraph satisfying eq. (1) with z = (1, 3):
+	// center (vertex 0) with self-loop and 3 edges to/from the leaf class.
+	base := graph.New(2)
+	base.AddEdge(0, 0)
+	base.AddEdge(0, 1)
+	base.AddEdge(1, 0)
+	base.AddEdge(1, 0)
+	base.AddEdge(1, 0)
+	base.AddEdge(1, 1)
+	// Check eq. (1) by hand: out-stubs of 0 = z0·1 + z1·1 = 1+3 = 4 = b0·z0
+	// with b0 = 4; out-stubs of 1 = 3·z0 + z1 = 3+3 = 6 = b1·z1 with b1 = 2.
+	fib, err := LiftFibred(base, []int{1, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fib.Check(nil, nil); err != nil {
+		t.Fatalf("invalid fibration: %v", err)
+	}
+	cards := fib.FibreCardinalities()
+	if cards[0] != 1 || cards[1] != 3 {
+		t.Fatalf("cardinalities %v, want [1 3]", cards)
+	}
+	// Outdegrees uniform per fibre.
+	for v := 0; v < fib.Total.N(); v++ {
+		want := 4
+		if fib.VertexMap[v] == 1 {
+			want = 2
+		}
+		if got := fib.Total.OutDegree(v); got != want {
+			t.Errorf("vertex %d outdegree %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestLiftFibredRejectsBadCardinalities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := graph.Ring(2)
+	if _, err := LiftFibred(base, []int{2, 3}, rng); err == nil {
+		t.Fatal("LiftFibred should reject cardinalities violating eq. (1)")
+	}
+}
+
+func TestLiftAnyArbitraryCardinalities(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// A second self-loop at vertex 1 lets its 3-member fibre be internally
+	// connected (a single base self-loop must lift to honest self-loops).
+	base := graph.Ring(2)
+	base.AddEdge(1, 1)
+	fib, err := LiftAny(base, []int{1, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fib.Check(nil, nil); err != nil {
+		t.Fatalf("invalid fibration: %v", err)
+	}
+	cards := fib.FibreCardinalities()
+	if cards[0] != 1 || cards[1] != 3 {
+		t.Fatalf("cardinalities %v, want [1 3]", cards)
+	}
+}
+
+func TestMinimumBaseOfLiftMatchesBase(t *testing.T) {
+	// The minimum base of a lift of a prime base is the base itself (up to
+	// isomorphism), when the lift's valuation (here: none) doesn't split
+	// further. Use a prime base: a ring with distinct structure via an
+	// extra chord.
+	rng := rand.New(rand.NewSource(21))
+	base := graph.Ring(3)
+	labels := []string{"a", "b", "c"}
+	fib, err := LiftCover(base, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted := LiftValuation(fib, labels)
+	mb, err := MinimumBase(fib.Total, lifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Base.N() != 3 {
+		t.Fatalf("minimum base of labelled 3-fold cover has %d vertices, want 3", mb.Base.N())
+	}
+	if !graph.Isomorphic(mb.Base, base, baseLabels(mb, lifted), labels) {
+		t.Fatalf("minimum base %v not isomorphic to original base %v", mb.Base, base)
+	}
+}
+
+func TestLiftValuation(t *testing.T) {
+	fib, err := RingFibration(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := LiftValuation(fib, []string{"x", "y"})
+	want := []string{"x", "y", "x", "y", "x", "y"}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("LiftValuation = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestCheckCatchesBrokenFibration(t *testing.T) {
+	fib, err := RingFibration(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the vertex map.
+	fib.VertexMap[0] = (fib.VertexMap[0] + 1) % 3
+	if err := fib.Check(nil, nil); err == nil {
+		t.Fatal("Check accepted a corrupted fibration")
+	}
+}
+
+func TestQuickLiftedCoversAreFibrations(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		base := graph.RandomStronglyConnected(n, rng.Intn(2*n), rng)
+		k := 1 + rng.Intn(3)
+		fib, err := LiftCover(base, k, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := fib.Check(nil, nil); err != nil {
+			t.Fatalf("trial %d (n=%d, k=%d): %v", trial, n, k, err)
+		}
+		// And the minimum base of the lift must not be larger than the
+		// base.
+		mb, err := MinimumBase(fib.Total, nil)
+		if err != nil {
+			t.Fatalf("trial %d: MinimumBase: %v", trial, err)
+		}
+		if mb.Base.N() > base.N() {
+			t.Fatalf("trial %d: minimum base larger (%d) than cover base (%d)", trial, mb.Base.N(), base.N())
+		}
+	}
+}
+
+func ExampleMinimumBase() {
+	// The 6-ring with alternating values collapses onto the 2-ring.
+	fib, _ := MinimumBase(graph.Ring(6), []string{"a", "b", "a", "b", "a", "b"})
+	fmt.Println(fib.Base.N(), fib.FibreCardinalities())
+	// Output: 2 [3 3]
+}

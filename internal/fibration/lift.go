@@ -1,0 +1,260 @@
+package fibration
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anonnet/internal/graph"
+)
+
+// LiftCover constructs a k-fold covering of base: a total graph in which
+// every fibre has cardinality k and out-edges are in bijection with base
+// out-edges (ports included). Vertex (i, a) of the total graph is numbered
+// i*k + a. Random per-edge rotations are drawn from rng and redrawn until
+// the total graph is strongly connected (when the base is), up to maxTries.
+//
+// Coverings are the fibrations of the output-port-aware world (§4.3, where
+// all fibres have equal cardinality — eq. (3)).
+func LiftCover(base *graph.Graph, k int, rng *rand.Rand) (*Fibration, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("fibration: LiftCover: fold %d, want ≥ 1", k)
+	}
+	const maxTries = 64
+	var last *Fibration
+	for try := 0; try < maxTries; try++ {
+		total := graph.New(base.N() * k)
+		edgeMap := make([]int, 0, base.M()*k)
+		for bei := 0; bei < base.M(); bei++ {
+			e := base.Edge(bei)
+			shift := 0
+			if e.From != e.To { // keep self-loops as honest self-loops
+				shift = rng.Intn(k)
+				if try == maxTries-1 {
+					shift = 1 // deterministic fallback: a single rotation connects fibres
+				}
+			}
+			for a := 0; a < k; a++ {
+				src := e.From*k + (a+shift)%k
+				dst := e.To*k + a
+				total.AddPortEdge(src, dst, e.Port)
+				edgeMap = append(edgeMap, bei)
+			}
+		}
+		vm := make([]int, total.N())
+		for v := range vm {
+			vm[v] = v / k
+		}
+		last = &Fibration{Total: total, Base: base, VertexMap: vm, EdgeMap: edgeMap}
+		if !base.StronglyConnected() || total.StronglyConnected() {
+			return last, nil
+		}
+	}
+	return last, fmt.Errorf("fibration: LiftCover: could not produce a strongly connected %d-fold cover", k)
+}
+
+// LiftFibred constructs a total graph fibred over base with prescribed
+// fibre cardinalities z, such that all members of a fibre share the same
+// outdegree — the setting of §4.2, where eq. (1)
+// b_i·z_i = Σ_j d_{i,j}·z_j must hold with b_i integer. Vertex (i, a) is
+// numbered offset(i) + a. Ports are dropped (only coverings preserve
+// per-port structure). Random assignments are redrawn until the total graph
+// is strongly connected (when the base is), up to maxTries.
+func LiftFibred(base *graph.Graph, z []int, rng *rand.Rand) (*Fibration, error) {
+	m := base.N()
+	if len(z) != m {
+		return nil, fmt.Errorf("fibration: LiftFibred: %d cardinalities for %d base vertices", len(z), m)
+	}
+	total := 0
+	offset := make([]int, m)
+	for i, zi := range z {
+		if zi < 1 {
+			return nil, fmt.Errorf("fibration: LiftFibred: fibre %d has cardinality %d, want ≥ 1", i, zi)
+		}
+		offset[i] = total
+		total += zi
+	}
+	// Check eq. (1) divisibility: outgoing stubs of fibre i must split
+	// evenly across its z_i members.
+	for i := 0; i < m; i++ {
+		stubs := 0
+		for _, ei := range base.OutEdges(i) {
+			stubs += z[base.Edge(ei).To]
+		}
+		if stubs%z[i] != 0 {
+			return nil, fmt.Errorf("fibration: LiftFibred: fibre %d: %d outgoing stubs not divisible by cardinality %d (eq. (1) violated)",
+				i, stubs, z[i])
+		}
+	}
+	const maxTries = 64
+	var last *Fibration
+	for try := 0; try < maxTries; try++ {
+		g := graph.New(total)
+		edgeMap := make([]int, 0, total*4)
+		// Round-robin source counters per base vertex, with random phase,
+		// so every member of fibre i ends with outdegree b_i.
+		next := make([]int, m)
+		for i := range next {
+			if try < maxTries-1 {
+				next[i] = rng.Intn(z[i])
+			}
+		}
+		selfSeen := make([]bool, m)
+		for bei := 0; bei < base.M(); bei++ {
+			e := base.Edge(bei)
+			rotate := -1
+			if e.From == e.To {
+				if !selfSeen[e.From] {
+					// The first base self-loop lifts to honest self-loops,
+					// preserving the standing self-loop assumption (§2.1).
+					selfSeen[e.From] = true
+					rotate = 0
+				} else if z[e.From] > 1 {
+					// Parallel base self-loops lift to an intra-fibre
+					// rotation, keeping multi-member fibres internally
+					// connected.
+					rotate = 1 + rng.Intn(z[e.From]-1)
+				} else {
+					rotate = 0
+				}
+			}
+			for a := 0; a < z[e.To]; a++ {
+				dst := offset[e.To] + a
+				var src int
+				if rotate >= 0 {
+					src = offset[e.From] + (a+rotate)%z[e.From]
+				} else {
+					src = offset[e.From] + next[e.From]%z[e.From]
+					next[e.From]++
+				}
+				g.AddEdge(src, dst)
+				edgeMap = append(edgeMap, bei)
+			}
+		}
+		vm := make([]int, total)
+		for i := 0; i < m; i++ {
+			for a := 0; a < z[i]; a++ {
+				vm[offset[i]+a] = i
+			}
+		}
+		last = &Fibration{Total: g, Base: stripPorts(base), VertexMap: vm, EdgeMap: edgeMap}
+		if !base.StronglyConnected() || g.StronglyConnected() {
+			return last, nil
+		}
+	}
+	return last, fmt.Errorf("fibration: LiftFibred: could not produce a strongly connected lift")
+}
+
+func stripPorts(g *graph.Graph) *graph.Graph {
+	h := graph.New(g.N())
+	for _, e := range g.Edges() {
+		h.AddEdge(e.From, e.To)
+	}
+	return h
+}
+
+// RingFibration returns the fibration R_n → R_p of §4.1 induced by
+// i ↦ i mod p, for p dividing n, on unidirectional rings with self-loops
+// (as built by graph.Ring). It is the engine of the impossibility proof:
+// frequency-equivalent inputs on R_n and R_m both lift from R_p.
+func RingFibration(n, p int) (*Fibration, error) {
+	if p < 1 || n < p || n%p != 0 {
+		return nil, fmt.Errorf("fibration: RingFibration(%d, %d): p must divide n", n, p)
+	}
+	total := graph.Ring(n)
+	base := graph.Ring(p)
+	vm := make([]int, n)
+	for i := range vm {
+		vm[i] = i % p
+	}
+	// graph.Ring appends each vertex's out-edges in the fixed order
+	// (self-loop, successor), so mapping out-edges positionally gives the
+	// fibration's edge component, including the degenerate p = 1 base with
+	// two parallel self-loops.
+	em := make([]int, total.M())
+	for v := 0; v < n; v++ {
+		outT := total.OutEdges(v)
+		outB := base.OutEdges(vm[v])
+		for k, ei := range outT {
+			em[ei] = outB[k]
+		}
+	}
+	return &Fibration{Total: total, Base: base, VertexMap: vm, EdgeMap: em}, nil
+}
+
+// LiftAny constructs a total graph fibred over base with the prescribed
+// fibre cardinalities and no constraint on outdegrees: sources are assigned
+// round-robin per base edge. This is only a valid construction for the
+// simple-broadcast impossibility witnesses (where the lifting lemma needs
+// no valuation preservation); the od model needs LiftFibred and the op
+// model LiftCover. Random phases are redrawn until the total graph is
+// strongly connected (when the base is), up to maxTries.
+func LiftAny(base *graph.Graph, z []int, rng *rand.Rand) (*Fibration, error) {
+	m := base.N()
+	if len(z) != m {
+		return nil, fmt.Errorf("fibration: LiftAny: %d cardinalities for %d base vertices", len(z), m)
+	}
+	total := 0
+	offset := make([]int, m)
+	for i, zi := range z {
+		if zi < 1 {
+			return nil, fmt.Errorf("fibration: LiftAny: fibre %d has cardinality %d, want ≥ 1", i, zi)
+		}
+		offset[i] = total
+		total += zi
+	}
+	const maxTries = 64
+	var last *Fibration
+	for try := 0; try < maxTries; try++ {
+		g := graph.New(total)
+		edgeMap := make([]int, 0, total*4)
+		next := make([]int, m)
+		for i := range next {
+			if try < maxTries-1 {
+				next[i] = rng.Intn(z[i])
+			}
+		}
+		selfSeen := make([]bool, m)
+		for bei := 0; bei < base.M(); bei++ {
+			e := base.Edge(bei)
+			rotate := -1
+			if e.From == e.To {
+				if !selfSeen[e.From] {
+					// The first base self-loop lifts to honest self-loops,
+					// preserving the standing self-loop assumption (§2.1).
+					selfSeen[e.From] = true
+					rotate = 0
+				} else if z[e.From] > 1 {
+					// Parallel base self-loops lift to an intra-fibre
+					// rotation, keeping multi-member fibres internally
+					// connected.
+					rotate = 1 + rng.Intn(z[e.From]-1)
+				} else {
+					rotate = 0
+				}
+			}
+			for a := 0; a < z[e.To]; a++ {
+				dst := offset[e.To] + a
+				var src int
+				if rotate >= 0 {
+					src = offset[e.From] + (a+rotate)%z[e.From]
+				} else {
+					src = offset[e.From] + next[e.From]%z[e.From]
+					next[e.From]++
+				}
+				g.AddEdge(src, dst)
+				edgeMap = append(edgeMap, bei)
+			}
+		}
+		vm := make([]int, total)
+		for i := 0; i < m; i++ {
+			for a := 0; a < z[i]; a++ {
+				vm[offset[i]+a] = i
+			}
+		}
+		last = &Fibration{Total: g, Base: stripPorts(base), VertexMap: vm, EdgeMap: edgeMap}
+		if !base.StronglyConnected() || g.StronglyConnected() {
+			return last, nil
+		}
+	}
+	return last, fmt.Errorf("fibration: LiftAny: could not produce a strongly connected lift")
+}

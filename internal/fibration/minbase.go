@@ -1,0 +1,187 @@
+package fibration
+
+import (
+	"fmt"
+	"sort"
+
+	"anonnet/internal/graph"
+)
+
+// MinimumBase computes the minimum base of g (§3.2) — the unique (up to
+// isomorphism) fibration-prime graph B admitting a fibration g → B — and
+// returns that fibration. Vertices may carry labels (the valuation of the
+// valued case: input values, outdegrees for G_od, leader flags); nil means
+// unlabelled. Edge ports, when present, act as the edge coloring of the
+// output-port-aware case G_op.
+//
+// The construction is the coarsest stable partition: vertices are
+// repeatedly split by the multiset of (class, port) of their in-edges,
+// starting from the label partition. Two vertices end in the same class iff
+// they have isomorphic in-views, i.e. iff some fibration identifies them.
+func MinimumBase(g *graph.Graph, labels []string) (*Fibration, error) {
+	n := g.N()
+	if labels != nil && len(labels) != n {
+		return nil, fmt.Errorf("fibration: MinimumBase: %d labels for %d vertices", len(labels), n)
+	}
+	class := initialClasses(n, labels)
+	for iter := 0; iter < n; iter++ {
+		next := refineOnce(g, class)
+		if countClasses(next) == countClasses(class) {
+			class = next
+			break
+		}
+		class = next
+	}
+	return quotient(g, class)
+}
+
+// IsPrime reports whether g is fibration prime: its minimum base has as
+// many vertices as g itself, i.e. every fibration from g is an isomorphism.
+func IsPrime(g *graph.Graph, labels []string) (bool, error) {
+	f, err := MinimumBase(g, labels)
+	if err != nil {
+		return false, err
+	}
+	return f.Base.N() == g.N(), nil
+}
+
+func initialClasses(n int, labels []string) []int {
+	if labels == nil {
+		return make([]int, n)
+	}
+	distinct := append([]string(nil), labels...)
+	sort.Strings(distinct)
+	distinct = dedupe(distinct)
+	rank := make(map[string]int, len(distinct))
+	for i, s := range distinct {
+		rank[s] = i
+	}
+	class := make([]int, n)
+	for v, s := range labels {
+		class[v] = rank[s]
+	}
+	return class
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// refineOnce splits classes by in-neighbourhood signatures. The new class
+// ids are ranks of the sorted signature strings, so the refinement is
+// deterministic and label-respecting (the old class is part of the
+// signature, making each step a refinement).
+func refineOnce(g *graph.Graph, class []int) []int {
+	sigs := make([]string, g.N())
+	for v := 0; v < g.N(); v++ {
+		in := make([]string, 0, g.InDegree(v))
+		for _, ei := range g.InEdges(v) {
+			e := g.Edge(ei)
+			in = append(in, fmt.Sprintf("%d/%d", class[e.From], e.Port))
+		}
+		sort.Strings(in)
+		sigs[v] = fmt.Sprintf("%d|%v", class[v], in)
+	}
+	distinct := append([]string(nil), sigs...)
+	sort.Strings(distinct)
+	distinct = dedupe(distinct)
+	rank := make(map[string]int, len(distinct))
+	for i, s := range distinct {
+		rank[s] = i
+	}
+	next := make([]int, g.N())
+	for v, s := range sigs {
+		next[v] = rank[s]
+	}
+	return next
+}
+
+func countClasses(class []int) int {
+	seen := make(map[int]bool, len(class))
+	for _, c := range class {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// quotient builds the base graph from a stable partition and the fibration
+// onto it. For each class the representative's in-edges define the base's
+// in-edges; every other member's in-edges are matched to them group-by-group
+// (grouped by (source class, port)), which is exactly the unique-lifting
+// bijection.
+func quotient(g *graph.Graph, class []int) (*Fibration, error) {
+	m := countClasses(class)
+	// Representative: smallest vertex of each class.
+	rep := make([]int, m)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v := g.N() - 1; v >= 0; v-- {
+		rep[class[v]] = v
+	}
+	base := graph.New(m)
+	// groupEdges[c] maps (source class, port) to the ordered list of base
+	// edge indices for class c's in-edges in that group.
+	type groupKey struct{ srcClass, port int }
+	groupEdges := make([]map[groupKey][]int, m)
+	for c := 0; c < m; c++ {
+		groupEdges[c] = make(map[groupKey][]int)
+		v := rep[c]
+		for _, ei := range sortedInEdges(g, v, class) {
+			e := g.Edge(ei)
+			k := groupKey{class[e.From], e.Port}
+			bei := base.M()
+			base.AddPortEdge(class[e.From], c, e.Port)
+			groupEdges[c][k] = append(groupEdges[c][k], bei)
+		}
+	}
+	edgeMap := make([]int, g.M())
+	for v := 0; v < g.N(); v++ {
+		c := class[v]
+		used := make(map[groupKey]int)
+		for _, ei := range sortedInEdges(g, v, class) {
+			e := g.Edge(ei)
+			k := groupKey{class[e.From], e.Port}
+			lst := groupEdges[c][k]
+			if used[k] >= len(lst) {
+				return nil, fmt.Errorf("fibration: quotient: partition not stable at vertex %d (class %d, group %v)", v, c, k)
+			}
+			edgeMap[ei] = lst[used[k]]
+			used[k]++
+		}
+		for k, u := range used {
+			if u != len(groupEdges[c][k]) {
+				return nil, fmt.Errorf("fibration: quotient: vertex %d has %d in-edges in group %v, representative has %d",
+					v, u, k, len(groupEdges[c][k]))
+			}
+		}
+		// A vertex whose group set is a strict subset of the
+		// representative's would be caught here too.
+		if len(used) != len(groupEdges[c]) {
+			return nil, fmt.Errorf("fibration: quotient: vertex %d misses an in-edge group of its class %d", v, c)
+		}
+	}
+	vm := make([]int, g.N())
+	copy(vm, class)
+	return &Fibration{Total: g, Base: base, VertexMap: vm, EdgeMap: edgeMap}, nil
+}
+
+// sortedInEdges returns v's in-edge indices ordered by (source class, port)
+// so that group traversal order is identical for all members of a class.
+func sortedInEdges(g *graph.Graph, v int, class []int) []int {
+	idx := g.InEdges(v)
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := g.Edge(idx[a]), g.Edge(idx[b])
+		if class[ea.From] != class[eb.From] {
+			return class[ea.From] < class[eb.From]
+		}
+		return ea.Port < eb.Port
+	})
+	return idx
+}

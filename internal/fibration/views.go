@@ -1,0 +1,110 @@
+package fibration
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anonnet/internal/graph"
+)
+
+// Views (universal covers truncated at finite depth) are the classical tool
+// behind the minimum-base computation (§3.2, after Boldi–Vigna [8]): the
+// depth-t view of an agent is the tree of all reversed walks of length ≤ t
+// into it, and two agents lie in the same fibre of the minimum base iff
+// their views agree at every depth — with depth n-1 sufficient for an
+// n-vertex graph, since the view refinement is the coarsest stable
+// partition computed one level per depth.
+
+// View is a truncated in-view: a tree whose root is the observed vertex and
+// whose children are the views of its in-neighbours one level shallower.
+type View struct {
+	// Label is the vertex label (valuation), "" for unlabelled graphs.
+	Label string
+	// Port is the output port of the edge this subtree was reached
+	// through (0 at the root or for unlabelled edges).
+	Port int
+	// Children are the in-neighbours' views, canonically sorted.
+	Children []*View
+}
+
+// ViewTree returns the depth-d in-view of vertex v in g, with optional
+// vertex labels.
+func ViewTree(g *graph.Graph, labels []string, v, depth int) *View {
+	return buildView(g, labels, v, depth, 0)
+}
+
+func buildView(g *graph.Graph, labels []string, v, depth, port int) *View {
+	out := &View{Port: port}
+	if labels != nil {
+		out.Label = labels[v]
+	}
+	if depth == 0 {
+		return out
+	}
+	for _, ei := range g.InEdges(v) {
+		e := g.Edge(ei)
+		out.Children = append(out.Children, buildView(g, labels, e.From, depth-1, e.Port))
+	}
+	sort.Slice(out.Children, func(i, j int) bool {
+		return out.Children[i].canonical() < out.Children[j].canonical()
+	})
+	return out
+}
+
+// canonical returns a canonical string encoding; equal encodings ⟺ equal
+// views.
+func (v *View) canonical() string {
+	var b strings.Builder
+	v.encode(&b)
+	return b.String()
+}
+
+func (v *View) encode(b *strings.Builder) {
+	fmt.Fprintf(b, "(%s/%d", v.Label, v.Port)
+	for _, c := range v.Children {
+		c.encode(b)
+	}
+	b.WriteByte(')')
+}
+
+// Equal reports whether two views are equal as ordered canonical trees.
+func (v *View) Equal(other *View) bool { return v.canonical() == other.canonical() }
+
+// Size returns the number of nodes in the view tree (exponential in depth
+// for non-trivial graphs — the reason the distributed algorithm uses hash
+// labels instead; see internal/algorithms/minbase).
+func (v *View) Size() int {
+	s := 1
+	for _, c := range v.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// ViewPartition partitions the vertices of g by depth-d view equality,
+// returning the class index of each vertex (classes numbered by first
+// occurrence).
+func ViewPartition(g *graph.Graph, labels []string, depth int) []int {
+	classOf := make(map[string]int)
+	out := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		c := ViewTree(g, labels, v, depth).canonical()
+		id, ok := classOf[c]
+		if !ok {
+			id = len(classOf)
+			classOf[c] = id
+		}
+		out[v] = id
+	}
+	return out
+}
+
+// LeaderElectionPossible reports whether leader election is solvable in the
+// anonymous network g with the given valuation: exactly when the (valued)
+// graph is fibration prime (§3, after [5, 32]) — every agent then has a
+// unique view, so the agents can deterministically distinguish one of
+// themselves.
+func LeaderElectionPossible(g *graph.Graph, labels []string) (bool, error) {
+	return IsPrime(g, labels)
+}

@@ -1,0 +1,122 @@
+package fibration
+
+import (
+	"math/rand"
+	"testing"
+
+	"anonnet/internal/graph"
+)
+
+func TestViewTreeBasics(t *testing.T) {
+	g := graph.Ring(3)
+	v := ViewTree(g, []string{"a", "b", "c"}, 0, 0)
+	if v.Label != "a" || len(v.Children) != 0 || v.Size() != 1 {
+		t.Fatalf("depth-0 view wrong: %+v", v)
+	}
+	v1 := ViewTree(g, []string{"a", "b", "c"}, 0, 1)
+	// In-neighbours of 0 in R_3: itself (self-loop) and 2.
+	if len(v1.Children) != 2 {
+		t.Fatalf("depth-1 view has %d children, want 2", len(v1.Children))
+	}
+	if !v1.Equal(ViewTree(g, []string{"a", "b", "c"}, 0, 1)) {
+		t.Fatal("equal views not Equal")
+	}
+}
+
+func TestViewPartitionMatchesMinimumBase(t *testing.T) {
+	// The fundamental equivalence: depth-(n-1) view classes = fibres of
+	// the minimum base.
+	rng := rand.New(rand.NewSource(15))
+	cases := []struct {
+		g      *graph.Graph
+		labels []string
+	}{
+		{graph.Ring(6), []string{"a", "b", "a", "b", "a", "b"}},
+		{graph.Ring(6), nil},
+		{graph.Star(5), []string{"c", "l", "l", "l", "l"}},
+		{graph.BidirectionalRing(5), nil},
+		{graph.RandomStronglyConnected(6, 5, rng), []string{"x", "x", "y", "x", "y", "x"}},
+		{graph.Hypercube(3), nil},
+	}
+	for i, c := range cases {
+		fib, err := MinimumBase(c.g, c.labels)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		part := ViewPartition(c.g, c.labels, c.g.N()-1)
+		// Same partition: same class ⟺ same fibre.
+		for u := 0; u < c.g.N(); u++ {
+			for w := u + 1; w < c.g.N(); w++ {
+				sameFibre := fib.VertexMap[u] == fib.VertexMap[w]
+				sameView := part[u] == part[w]
+				if sameFibre != sameView {
+					t.Errorf("case %d: vertices %d,%d: fibre-equal=%t view-equal=%t",
+						i, u, w, sameFibre, sameView)
+				}
+			}
+		}
+	}
+}
+
+func TestViewsLiftInvariant(t *testing.T) {
+	// Vertices in the same fibre of ANY fibration have equal views at
+	// every depth — the view-level statement of the lifting lemma.
+	rng := rand.New(rand.NewSource(25))
+	base := graph.RandomStronglyConnected(4, 3, rng)
+	fib, err := LiftCover(base, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := LiftValuation(fib, []string{"a", "b", "c", "d"})
+	for depth := 0; depth <= 4; depth++ {
+		for u := 0; u < fib.Total.N(); u++ {
+			for w := u + 1; w < fib.Total.N(); w++ {
+				if fib.VertexMap[u] != fib.VertexMap[w] {
+					continue
+				}
+				vu := ViewTree(fib.Total, labels, u, depth)
+				vw := ViewTree(fib.Total, labels, w, depth)
+				if !vu.Equal(vw) {
+					t.Fatalf("depth %d: same-fibre vertices %d,%d have different views", depth, u, w)
+				}
+			}
+		}
+	}
+}
+
+func TestViewSizeGrowth(t *testing.T) {
+	// Views grow exponentially with depth on a ring (branching 2 via the
+	// self-loop) — the justification for hash labels (DESIGN.md §6).
+	g := graph.Ring(4)
+	s2 := ViewTree(g, nil, 0, 2).Size()
+	s4 := ViewTree(g, nil, 0, 4).Size()
+	s6 := ViewTree(g, nil, 0, 6).Size()
+	if !(s2 < s4 && s4 < s6) {
+		t.Fatalf("view sizes not growing: %d, %d, %d", s2, s4, s6)
+	}
+	if s6 < 4*s2 {
+		t.Fatalf("view growth not superlinear: %d vs %d", s6, s2)
+	}
+}
+
+func TestLeaderElectionPossible(t *testing.T) {
+	// Symmetric unlabelled ring: impossible. Distinct values: possible.
+	ok, err := LeaderElectionPossible(graph.Ring(5), nil)
+	if err != nil || ok {
+		t.Fatalf("leader election on unlabelled R_5: got %t, %v", ok, err)
+	}
+	ok, err = LeaderElectionPossible(graph.Ring(5), []string{"a", "b", "c", "d", "e"})
+	if err != nil || !ok {
+		t.Fatalf("leader election with distinct values: got %t, %v", ok, err)
+	}
+	// A single distinguished value suffices on a ring.
+	ok, err = LeaderElectionPossible(graph.Ring(5), []string{"L", "x", "x", "x", "x"})
+	if err != nil || !ok {
+		t.Fatalf("leader election with one mark: got %t, %v", ok, err)
+	}
+	// But not on a star with identical leaves (leaves stay symmetric).
+	ok, err = LeaderElectionPossible(graph.Star(5), []string{"c", "l", "l", "l", "l"})
+	if err != nil || ok {
+		t.Fatalf("leader election on star leaves: got %t, %v", ok, err)
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+// Connectivity and distance utilities: strong connectivity (Tarjan),
+// BFS distances, diameter, and eccentricities. Distances ignore edge
+// multiplicity and ports.
+
+// StronglyConnected reports whether g is strongly connected. The empty
+// relation on one vertex counts as strongly connected (a vertex reaches
+// itself by the empty path).
+func (g *Graph) StronglyConnected() bool {
+	return len(g.SCCs()) == 1
+}
+
+// SCCs returns the strongly connected components of g in reverse
+// topological order, each component a sorted slice of vertices.
+// The implementation is Tarjan's algorithm with an explicit stack, so large
+// graphs do not exhaust goroutine stacks.
+func (g *Graph) SCCs() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for v := range index {
+		index[v] = unvisited
+	}
+	var (
+		stack  []int
+		sccs   [][]int
+		next   int
+		frames []tarjanFrame
+	)
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], tarjanFrame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.edge < len(g.out[v]) {
+				w := g.edges[g.out[v][f.edge]].To
+				f.edge++
+				if index[w] == unvisited {
+					frames = append(frames, tarjanFrame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortInts(comp)
+				sccs = append(sccs, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+type tarjanFrame struct {
+	v, edge int
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Distances returns the directed BFS distances from src; unreachable
+// vertices get -1.
+func (g *Graph) Distances(src int) []int {
+	dist := make([]int, g.n)
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, i := range g.out[v] {
+			w := g.edges[i].To
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the directed diameter max_{u,v} dist(u, v), or -1 if g
+// is not strongly connected.
+func (g *Graph) Diameter() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		dist := g.Distances(u)
+		for _, x := range dist {
+			if x == -1 {
+				return -1
+			}
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// Eccentricity returns max_v dist(src, v), or -1 if some vertex is
+// unreachable from src.
+func (g *Graph) Eccentricity(src int) int {
+	ecc := 0
+	for _, x := range g.Distances(src) {
+		if x == -1 {
+			return -1
+		}
+		if x > ecc {
+			ecc = x
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format, with optional vertex
+// labels; port labels appear as edge labels. Self-loops are drawn.
+// Deterministic output (edges sorted) makes it usable in golden tests.
+func (g *Graph) DOT(name string, labels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for v := 0; v < g.n; v++ {
+		if labels != nil {
+			fmt.Fprintf(&b, "  %d [label=%q];\n", v, fmt.Sprintf("%d: %s", v, labels[v]))
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	es := g.Edges()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].Port < es[j].Port
+	})
+	for _, e := range es {
+		if e.Port != 0 {
+			fmt.Fprintf(&b, "  %d -> %d [label=\"p%d\"];\n", e.From, e.To, e.Port)
+		} else {
+			fmt.Fprintf(&b, "  %d -> %d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package graph
+
+// Graph isomorphism for the small (multi)graphs handled in tests and in the
+// minimum-base machinery: labelled vertices, parallel edges, port labels.
+// The paper's network classes are closed under graph isomorphism (§2.1), and
+// minimum bases are unique only up to isomorphism (§3.2), so the harness
+// needs a decision procedure. Backtracking with refinement-based pruning is
+// ample at experiment scale.
+
+import "fmt"
+
+// Isomorphic reports whether there is a vertex bijection g→h preserving
+// vertex labels and, for every ordered pair and port, the number of parallel
+// edges. Pass nil labels to treat vertices as unlabelled.
+func Isomorphic(g, h *Graph, gLabels, hLabels []string) bool {
+	if g.n != h.n || len(g.edges) != len(h.edges) {
+		return false
+	}
+	gl, err := normalizeLabels(g.n, gLabels)
+	if err != nil {
+		panic("graph: Isomorphic: " + err.Error())
+	}
+	hl, err := normalizeLabels(h.n, hLabels)
+	if err != nil {
+		panic("graph: Isomorphic: " + err.Error())
+	}
+
+	gcol := refineColors(g, gl)
+	hcol := refineColors(h, hl)
+	if !sameColorHistogram(gcol, hcol) {
+		return false
+	}
+
+	m := &isoMatcher{g: g, h: h, gcol: gcol, hcol: hcol,
+		mapping: make([]int, g.n), used: make([]bool, h.n)}
+	for i := range m.mapping {
+		m.mapping[i] = -1
+	}
+	return m.match(0)
+}
+
+func normalizeLabels(n int, labels []string) ([]string, error) {
+	if labels == nil {
+		return make([]string, n), nil
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("label slice has length %d, want %d", len(labels), n)
+	}
+	return labels, nil
+}
+
+// refineColors computes stable vertex colors by iterated in/out signature
+// hashing starting from the given labels. Equal colors are necessary (not
+// sufficient) for vertices to correspond under isomorphism.
+func refineColors(g *Graph, labels []string) []string {
+	colors := make([]string, g.n)
+	copy(colors, labels)
+	for iter := 0; iter < g.n; iter++ {
+		next := make([]string, g.n)
+		for v := 0; v < g.n; v++ {
+			inSig := make(map[string]int)
+			for _, i := range g.in[v] {
+				e := g.edges[i]
+				inSig[fmt.Sprintf("%s/%d", colors[e.From], e.Port)]++
+			}
+			outSig := make(map[string]int)
+			for _, i := range g.out[v] {
+				e := g.edges[i]
+				outSig[fmt.Sprintf("%s/%d", colors[e.To], e.Port)]++
+			}
+			next[v] = fmt.Sprintf("%s|%s|%s", colors[v], canonicalCounts(inSig), canonicalCounts(outSig))
+		}
+		compressed := compressColors(next)
+		if countDistinct(compressed) == countDistinct(colors) {
+			return compressed
+		}
+		colors = compressed
+	}
+	return colors
+}
+
+// compressColors renames colors to dense ids ("c0", "c1", …) ordered by the
+// underlying signature, so iterated refinement keeps color strings short
+// while remaining deterministic across graphs.
+func compressColors(colors []string) []string {
+	distinct := make([]string, 0, len(colors))
+	seen := make(map[string]bool, len(colors))
+	for _, s := range colors {
+		if !seen[s] {
+			seen[s] = true
+			distinct = append(distinct, s)
+		}
+	}
+	sortStrings(distinct)
+	id := make(map[string]string, len(distinct))
+	for i, s := range distinct {
+		id[s] = fmt.Sprintf("c%d", i)
+	}
+	out := make([]string, len(colors))
+	for v, s := range colors {
+		out[v] = id[s]
+	}
+	return out
+}
+
+func canonicalCounts(sig map[string]int) string {
+	keys := make([]string, 0, len(sig))
+	for k := range sig {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s*%d;", k, sig[k])
+	}
+	return out
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func countDistinct(a []string) int {
+	seen := make(map[string]bool, len(a))
+	for _, s := range a {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+func sameColorHistogram(a, b []string) bool {
+	ca := make(map[string]int, len(a))
+	for _, s := range a {
+		ca[s]++
+	}
+	for _, s := range b {
+		ca[s]--
+		if ca[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type isoMatcher struct {
+	g, h       *Graph
+	gcol, hcol []string
+	mapping    []int
+	used       []bool
+}
+
+func (m *isoMatcher) match(v int) bool {
+	if v == m.g.n {
+		return true
+	}
+	for w := 0; w < m.h.n; w++ {
+		if m.used[w] || m.gcol[v] != m.hcol[w] {
+			continue
+		}
+		if !m.consistent(v, w) {
+			continue
+		}
+		m.mapping[v] = w
+		m.used[w] = true
+		if m.match(v + 1) {
+			return true
+		}
+		m.mapping[v] = -1
+		m.used[w] = false
+	}
+	return false
+}
+
+// consistent checks edge-multiplicity agreement between v and w against all
+// already-mapped vertices, per port.
+func (m *isoMatcher) consistent(v, w int) bool {
+	for u := 0; u < v; u++ {
+		uw := m.mapping[u]
+		if !sameEdgeMultiset(m.g, u, v, m.h, uw, w) || !sameEdgeMultiset(m.g, v, u, m.h, w, uw) {
+			return false
+		}
+	}
+	return sameEdgeMultiset(m.g, v, v, m.h, w, w)
+}
+
+func sameEdgeMultiset(g *Graph, gu, gv int, h *Graph, hu, hv int) bool {
+	gc := portCounts(g, gu, gv)
+	hc := portCounts(h, hu, hv)
+	if len(gc) != len(hc) {
+		return false
+	}
+	for p, c := range gc {
+		if hc[p] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func portCounts(g *Graph, u, v int) map[int]int {
+	out := make(map[int]int)
+	for _, i := range g.out[u] {
+		if e := g.edges[i]; e.To == v {
+			out[e.Port]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Package matrix implements the float-valued matrix analysis of Section 5:
+// column-stochastic round matrices A(t) induced by communication graphs,
+// backward products A(t′:t), α-safety, Dobrushin's ergodic coefficient
+// δ(P) (eq. (1.5) of [16], as used in the proof of Theorem 5.2), and the
+// Perron–Frobenius power iteration used to cross-check the rank-one kernel
+// argument of §4.2.
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"anonnet/internal/graph"
+)
+
+// Dense is a dense square float64 matrix.
+type Dense struct {
+	n int
+	a []float64 // row-major
+}
+
+// NewDense returns the zero n×n matrix.
+func NewDense(n int) *Dense {
+	if n <= 0 {
+		panic(fmt.Sprintf("matrix: NewDense(%d): size must be positive", n))
+	}
+	return &Dense{n: n, a: make([]float64, n*n)}
+}
+
+// N returns the dimension.
+func (m *Dense) N() int { return m.n }
+
+// At returns entry (i, j).
+func (m *Dense) At(i, j int) float64 { return m.a[i*m.n+j] }
+
+// Set assigns entry (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.a[i*m.n+j] = v }
+
+// Clone returns an independent copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.n)
+	copy(c.a, m.a)
+	return c
+}
+
+// MulMat returns m·other.
+func (m *Dense) MulMat(other *Dense) *Dense {
+	if m.n != other.n {
+		panic(fmt.Sprintf("matrix: MulMat: sizes differ (%d vs %d)", m.n, other.n))
+	}
+	out := NewDense(m.n)
+	for i := 0; i < m.n; i++ {
+		for k := 0; k < m.n; k++ {
+			x := m.a[i*m.n+k]
+			if x == 0 {
+				continue
+			}
+			for j := 0; j < m.n; j++ {
+				out.a[i*m.n+j] += x * other.a[k*m.n+j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.n {
+		panic(fmt.Sprintf("matrix: MulVec: vector length %d, want %d", len(x), m.n))
+	}
+	out := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		s := 0.0
+		for j := 0; j < m.n; j++ {
+			s += m.a[i*m.n+j] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// IsColumnStochastic reports whether every column is non-negative and sums
+// to 1 within tol.
+func (m *Dense) IsColumnStochastic(tol float64) bool {
+	for j := 0; j < m.n; j++ {
+		s := 0.0
+		for i := 0; i < m.n; i++ {
+			v := m.a[i*m.n+j]
+			if v < -tol {
+				return false
+			}
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRowStochastic reports whether every row is non-negative and sums to 1
+// within tol.
+func (m *Dense) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.n; i++ {
+		s := 0.0
+		for j := 0; j < m.n; j++ {
+			v := m.a[i*m.n+j]
+			if v < -tol {
+				return false
+			}
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSafe reports whether every strictly positive entry is at least alpha
+// (α-safety, §5.2). Entries below tol are treated as zero.
+func (m *Dense) IsSafe(alpha, tol float64) bool {
+	for _, v := range m.a {
+		if v > tol && v < alpha-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Dobrushin returns Dobrushin's ergodic coefficient of a row-stochastic
+// matrix: δ(P) = 1 − min_{i≠j} Σ_k min(P_{i,k}, P_{j,k}). δ lies in [0, 1];
+// δ(P) < 1 certifies contraction of the seminorm max−min (§5.3).
+func (m *Dense) Dobrushin() float64 {
+	if m.n == 1 {
+		return 0
+	}
+	minOverlap := math.Inf(1)
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			s := 0.0
+			for k := 0; k < m.n; k++ {
+				s += math.Min(m.a[i*m.n+k], m.a[j*m.n+k])
+			}
+			if s < minOverlap {
+				minOverlap = s
+			}
+		}
+	}
+	return 1 - minOverlap
+}
+
+// Spread returns δ(v) = max v − min v, the seminorm contracted by
+// Dobrushin's coefficient (δ(Pv) ≤ δ(P)·δ(v), §5.3).
+func Spread(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return hi - lo
+}
+
+// Graph returns the graph associated to a non-negative matrix (§5.2):
+// edge j→i iff m[i][j] > tol. Note the transposition: A_{i,j} > 0 encodes
+// flow from j to i.
+func (m *Dense) Graph(tol float64) *graph.Graph {
+	g := graph.New(m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if m.a[i*m.n+j] > tol {
+				g.AddEdge(j, i)
+			}
+		}
+	}
+	return g
+}
+
+// FromGraphPushSum returns the column-stochastic matrix A(t) of Theorem
+// 5.2's proof: A_{i,j} = 1/d⁻_j if (j, i) is an edge of g, else 0, where
+// d⁻_j is j's outdegree (self-loop included).
+func FromGraphPushSum(g *graph.Graph) *Dense {
+	m := NewDense(g.N())
+	for _, e := range g.Edges() {
+		m.a[e.To*g.N()+e.From] += 1 / float64(g.OutDegree(e.From))
+	}
+	return m
+}
+
+// PowerIteration returns the dominant eigenvalue and a positive eigenvector
+// estimate of a non-negative irreducible matrix, via normalized power
+// iteration. It is the numerical cross-check of the Perron–Frobenius
+// argument of §4.2 (the matrix P = M + αI). It returns an error if the
+// iteration does not settle within maxIter.
+func (m *Dense) PowerIteration(maxIter int, tol float64) (float64, []float64, error) {
+	x := make([]float64, m.n)
+	for i := range x {
+		x[i] = 1
+	}
+	lambda := 0.0
+	for it := 0; it < maxIter; it++ {
+		y := m.MulVec(x)
+		norm := 0.0
+		for _, v := range y {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0, nil, fmt.Errorf("matrix: PowerIteration: iterate vanished")
+		}
+		for i := range y {
+			y[i] /= norm
+		}
+		// Rayleigh quotient.
+		my := m.MulVec(y)
+		num, den := 0.0, 0.0
+		for i := range y {
+			num += y[i] * my[i]
+			den += y[i] * y[i]
+		}
+		next := num / den
+		if it > 0 && math.Abs(next-lambda) < tol {
+			return next, y, nil
+		}
+		lambda = next
+		x = y
+	}
+	return 0, nil, fmt.Errorf("matrix: PowerIteration: no convergence after %d iterations", maxIter)
+}

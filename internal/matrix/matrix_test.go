@@ -1,0 +1,197 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anonnet/internal/graph"
+)
+
+func TestMulMatVec(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	v := m.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", v)
+	}
+	p := m.MulMat(m)
+	if p.At(0, 0) != 7 || p.At(0, 1) != 10 || p.At(1, 0) != 15 || p.At(1, 1) != 22 {
+		t.Fatalf("MulMat wrong: %+v", p)
+	}
+}
+
+func TestStochasticChecks(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 0.5)
+	m.Set(0, 1, 0.5)
+	m.Set(1, 0, 0.5)
+	m.Set(1, 1, 0.5)
+	if !m.IsRowStochastic(1e-12) || !m.IsColumnStochastic(1e-12) {
+		t.Fatal("doubly stochastic matrix rejected")
+	}
+	m.Set(0, 0, 0.6)
+	if m.IsRowStochastic(1e-12) {
+		t.Fatal("non-stochastic row accepted")
+	}
+}
+
+func TestFromGraphPushSumColumnStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range []*graph.Graph{
+		graph.Ring(5), graph.Star(6), graph.RandomStronglyConnected(7, 5, rng),
+	} {
+		a := FromGraphPushSum(g)
+		if !a.IsColumnStochastic(1e-12) {
+			t.Fatalf("A(t) from %v not column-stochastic", g)
+		}
+		if !a.IsSafe(1/float64(g.N()), 1e-12) {
+			t.Fatalf("A(t) from %v not 1/n-safe", g)
+		}
+		// Graph round trip: the associated graph of A equals g's simple
+		// form.
+		back := a.Graph(1e-12)
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e.From, e.To) {
+				t.Fatalf("edge %v lost in round trip", e)
+			}
+		}
+	}
+}
+
+func TestDobrushinProperties(t *testing.T) {
+	// Identity: no mixing, δ = 1. Uniform: perfect mixing, δ = 0.
+	id := NewDense(3)
+	uni := NewDense(3)
+	for i := 0; i < 3; i++ {
+		id.Set(i, i, 1)
+		for j := 0; j < 3; j++ {
+			uni.Set(i, j, 1.0/3)
+		}
+	}
+	if got := id.Dobrushin(); got != 1 {
+		t.Fatalf("δ(I) = %v, want 1", got)
+	}
+	if got := uni.Dobrushin(); math.Abs(got) > 1e-12 {
+		t.Fatalf("δ(U) = %v, want 0", got)
+	}
+	if got := NewDense(1).Dobrushin(); got != 0 {
+		t.Fatalf("δ of 1×1 = %v, want 0", got)
+	}
+}
+
+func TestDobrushinContractsSpread(t *testing.T) {
+	// δ(Pv) ≤ δ(P)·δ(v) for row-stochastic P (§5.3's seminorm identity).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		p := NewDense(n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			sum := 0.0
+			for j := range row {
+				row[j] = rng.Float64()
+				sum += row[j]
+			}
+			for j := range row {
+				p.Set(i, j, row[j]/sum)
+			}
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()*10 - 5
+		}
+		if got, bound := Spread(p.MulVec(v)), p.Dobrushin()*Spread(v); got > bound+1e-9 {
+			t.Fatalf("trial %d: δ(Pv) = %v > δ(P)·δ(v) = %v", trial, got, bound)
+		}
+	}
+}
+
+func TestDobrushinBoundCompleteGraph(t *testing.T) {
+	// α-safe with a fully connected associated graph ⟹ δ(P) ≤ 1 − n·α.
+	g := graph.Complete(4)
+	a := FromGraphPushSum(g) // here row- and column-stochastic (regular)
+	alpha := 0.25
+	if d := a.Dobrushin(); d > 1-4*alpha+1e-12 {
+		t.Fatalf("δ = %v exceeds 1 − nα = %v", d, 1-4*alpha)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	if Spread(nil) != 0 {
+		t.Fatal("Spread(nil) ≠ 0")
+	}
+	if got := Spread([]float64{3, -1, 2}); got != 4 {
+		t.Fatalf("Spread = %v, want 4", got)
+	}
+}
+
+func TestPowerIterationPerronFrobenius(t *testing.T) {
+	// The §4.2 construction: M for the star base, P = M + αI with
+	// α > −min(M_ii) = 4; dominant eigenvalue of P must be α (λ = 0),
+	// eigenvector ∝ (1, 4).
+	alpha := 5.0
+	p := NewDense(2)
+	p.Set(0, 0, -4+alpha)
+	p.Set(0, 1, 1)
+	p.Set(1, 0, 4)
+	p.Set(1, 1, -1+alpha)
+	lambda, vec, err := p.PowerIteration(10000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-alpha) > 1e-6 {
+		t.Fatalf("dominant eigenvalue %v, want %v", lambda, alpha)
+	}
+	if ratio := vec[1] / vec[0]; math.Abs(ratio-4) > 1e-6 {
+		t.Fatalf("eigenvector ratio %v, want 4", ratio)
+	}
+	if vec[0] <= 0 || vec[1] <= 0 {
+		t.Fatalf("Perron vector not positive: %v", vec)
+	}
+}
+
+func TestBackwardProductsConverge(t *testing.T) {
+	// Products of Push-Sum B(t) matrices contract the spread — the
+	// mechanism behind Theorem 5.2, checked numerically on a ring.
+	g := graph.Ring(5)
+	a := FromGraphPushSum(g)
+	prod := a
+	for k := 0; k < 200; k++ {
+		prod = a.MulMat(prod)
+	}
+	// Column-stochastic products preserve column sums.
+	if !prod.IsColumnStochastic(1e-9) {
+		t.Fatal("product lost column stochasticity")
+	}
+	// Long products approach rank one: rows become equal per column...
+	// for column-stochastic matrices the *columns* converge to a common
+	// vector; check column spread.
+	for j := 0; j < 5; j++ {
+		col := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			col[i] = prod.At(i, j)
+		}
+		for j2 := 0; j2 < 5; j2++ {
+			col2 := make([]float64, 5)
+			for i := 0; i < 5; i++ {
+				col2[i] = prod.At(i, j2)
+			}
+			for i := range col {
+				if math.Abs(col[i]-col2[i]) > 1e-6 {
+					t.Fatalf("columns %d and %d differ at %d: %v vs %v", j, j2, i, col[i], col2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPowerIterationFailure(t *testing.T) {
+	z := NewDense(2) // zero matrix: iterate vanishes
+	if _, _, err := z.PowerIteration(10, 1e-9); err == nil {
+		t.Fatal("PowerIteration on zero matrix should fail")
+	}
+}

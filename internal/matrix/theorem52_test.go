@@ -1,0 +1,150 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+
+	"anonnet/internal/dynamic"
+	"anonnet/internal/graph"
+)
+
+// These tests machine-check the intermediate steps of the proof of
+// Theorem 5.2 on concrete dynamic graphs — the matrix mechanics behind the
+// Push-Sum convergence bound.
+
+// pushSumMatrices builds the round matrices A(t) of the proof for a
+// schedule, plus the z(t) = A(t:1)·1 trajectory and the normalized
+// matrices B(t) = diag(z(t))⁻¹ A(t) diag(z(t-1)).
+func pushSumMatrices(s dynamic.Schedule, rounds int) (as, bs []*Dense, zs [][]float64) {
+	n := s.N()
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = 1
+	}
+	zs = append(zs, z)
+	for t := 1; t <= rounds; t++ {
+		a := FromGraphPushSum(s.At(t))
+		zNext := a.MulVec(z)
+		b := NewDense(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, a.At(i, j)*z[j]/zNext[i])
+			}
+		}
+		as = append(as, a)
+		bs = append(bs, b)
+		z = zNext
+		zs = append(zs, z)
+	}
+	return as, bs, zs
+}
+
+func proofSchedules() map[string]dynamic.Schedule {
+	return map[string]dynamic.Schedule{
+		"ring-5":       dynamic.NewStatic(graph.Ring(5)),
+		"star-6":       dynamic.NewStatic(graph.Star(6)),
+		"split-ring-6": &dynamic.SplitRing{Vertices: 6},
+		"random-6":     &dynamic.RandomConnected{Vertices: 6, ExtraEdges: 1, Seed: 9},
+	}
+}
+
+func TestTheorem52MatrixMechanics(t *testing.T) {
+	for name, s := range proofSchedules() {
+		n := s.N()
+		d := dynamic.DynamicDiameter(s, 1, 4*n)
+		if d <= 0 {
+			t.Fatalf("%s: no finite dynamic diameter observed", name)
+		}
+		rounds := 4 * d * n
+		as, bs, zs := pushSumMatrices(s, rounds)
+		alpha := 1 / float64(n)
+		for ti, a := range as {
+			// Each A(t) is column-stochastic and 1/n-safe (§5.3).
+			if !a.IsColumnStochastic(1e-9) {
+				t.Fatalf("%s: A(%d) not column-stochastic", name, ti+1)
+			}
+			if !a.IsSafe(alpha, 1e-12) {
+				t.Fatalf("%s: A(%d) not 1/n-safe", name, ti+1)
+			}
+			// Each B(t) is row-stochastic with positive diagonal and the
+			// same associated graph as A(t).
+			b := bs[ti]
+			if !b.IsRowStochastic(1e-9) {
+				t.Fatalf("%s: B(%d) not row-stochastic", name, ti+1)
+			}
+			for i := 0; i < b.N(); i++ {
+				if b.At(i, i) <= 0 {
+					t.Fatalf("%s: B(%d) has non-positive diagonal at %d", name, ti+1, i)
+				}
+			}
+		}
+		// Lemma 5.1: for t ≥ D, αᴰ·Σ1 ≤ z_i(t) ≤ Σ1 = n.
+		lower := math.Pow(alpha, float64(d)) * float64(n)
+		for ti := d; ti < len(zs); ti++ {
+			for i, zi := range zs[ti] {
+				if zi < lower-1e-12 || zi > float64(n)+1e-9 {
+					t.Fatalf("%s: z_%d(%d) = %v outside [αᴰ·n, n] = [%v, %d]", name, i, ti, zi, lower, n)
+				}
+			}
+		}
+		// The backward product B(t:1) contracts the Dobrushin coefficient
+		// as the proof states: δ(B(t:1)) ≤ (1 − n^{-2D})^⌊t/D⌋.
+		prod := bs[0]
+		for ti := 1; ti < len(bs); ti++ {
+			prod = bs[ti].MulMat(prod)
+		}
+		bound := math.Pow(1-math.Pow(float64(n), -2*float64(d)), float64(rounds/d))
+		if got := prod.Dobrushin(); got > bound+1e-9 {
+			t.Fatalf("%s: δ(B(%d:1)) = %v exceeds the proof bound %v", name, rounds, got, bound)
+		}
+	}
+}
+
+func TestTheorem52WindowSafety(t *testing.T) {
+	// The proof's key quantitative step: every window product
+	// B(t+D-1 : t) is n^{-2D}-safe and fully positive.
+	for name, s := range proofSchedules() {
+		n := s.N()
+		d := dynamic.DynamicDiameter(s, 1, 4*n)
+		_, bs, _ := pushSumMatrices(s, 3*d+d)
+		safety := math.Pow(float64(n), -2*float64(d))
+		for start := 0; start+d <= len(bs); start++ {
+			w := bs[start]
+			for k := 1; k < d; k++ {
+				w = bs[start+k].MulMat(w)
+			}
+			for i := 0; i < w.N(); i++ {
+				for j := 0; j < w.N(); j++ {
+					if w.At(i, j) < safety-1e-12 {
+						t.Fatalf("%s: window B(%d+D-1:%d) entry (%d,%d) = %v below n^{-2D} = %v",
+							name, start+1, start+1, i, j, w.At(i, j), safety)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpreadMonotone(t *testing.T) {
+	// §5.3: because each B(t) is row-stochastic, x⁺(t) is non-increasing
+	// and x⁻(t) non-decreasing along Push-Sum — checked on a trajectory.
+	s := dynamic.NewStatic(graph.Ring(5))
+	_, bs, _ := pushSumMatrices(s, 120)
+	x := []float64{3, 1, 4, 1, 5}
+	prevMax, prevMin := 5.0, 1.0
+	for _, b := range bs {
+		x = b.MulVec(x)
+		curMax, curMin := math.Inf(-1), math.Inf(1)
+		for _, v := range x {
+			curMax = math.Max(curMax, v)
+			curMin = math.Min(curMin, v)
+		}
+		if curMax > prevMax+1e-9 || curMin < prevMin-1e-9 {
+			t.Fatalf("spread not monotone: [%v, %v] after [%v, %v]", curMin, curMax, prevMin, prevMax)
+		}
+		prevMax, prevMin = curMax, curMin
+	}
+	if prevMax-prevMin > 1e-6 {
+		t.Fatalf("spread did not contract: %v", prevMax-prevMin)
+	}
+}

@@ -1,0 +1,50 @@
+package model
+
+import (
+	"math"
+	"reflect"
+)
+
+// Metric is a distance on output values (the δ of §2.3). Implementations
+// must return +Inf for incomparable values rather than panicking, so that a
+// diverging algorithm shows up as non-convergence, not a crash.
+type Metric func(a, b Value) float64
+
+// Discrete is the discrete metric δ₀: 0 if the outputs are equal (by
+// reflect.DeepEqual, covering floats, slices and maps), 1 otherwise.
+// δ₀-computation is exact computation in finite time (§2.3).
+func Discrete(a, b Value) float64 {
+	if reflect.DeepEqual(a, b) {
+		return 0
+	}
+	return 1
+}
+
+// Euclid is the Euclidean metric δ₂ on float64 and []float64 outputs.
+// Mixed or non-numeric operands are at distance +Inf.
+func Euclid(a, b Value) float64 {
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return math.Inf(1)
+		}
+		return math.Abs(x - y)
+	case []float64:
+		y, ok := b.([]float64)
+		if !ok || len(x) != len(y) {
+			return math.Inf(1)
+		}
+		s := 0.0
+		for i := range x {
+			d := x[i] - y[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	default:
+		if reflect.DeepEqual(a, b) {
+			return 0
+		}
+		return math.Inf(1)
+	}
+}

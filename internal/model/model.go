@@ -1,0 +1,118 @@
+// Package model defines the computing model of §2.2: anonymous
+// deterministic agents exchanging messages in communication-closed
+// synchronous rounds, under one of the four communication models of the
+// paper — simple broadcast, outdegree awareness, symmetric communications,
+// and output port awareness. The round semantics themselves live in package
+// engine; this package fixes the contracts.
+package model
+
+import "fmt"
+
+// Message is the content of one message. Agents must treat received
+// messages as immutable and must send freshly built or immutable values:
+// the engines deliver the same Message value to every recipient of a
+// broadcast.
+type Message any
+
+// Value is an agent's output value (the x_i of §2.3). The harness compares
+// outputs with a Metric.
+type Value any
+
+// Kind selects the communication model.
+type Kind int
+
+// The four communication models of the paper, ordered as introduced.
+const (
+	// SimpleBroadcast: σ : Q → M — a blind cast, no knowledge of recipients.
+	SimpleBroadcast Kind = iota + 1
+	// OutdegreeAware: σ : Q × ℕ → M — the sender learns its current
+	// outdegree (self-loop included) before composing the round's message.
+	OutdegreeAware
+	// OutputPortAware: σ : Q × ℕ → M^d — one message per output port;
+	// meaningful for static networks with fixed port labellings.
+	OutputPortAware
+	// Symmetric: simple broadcast restricted to the class of networks with
+	// bidirectional links. The engine enforces the class restriction.
+	Symmetric
+)
+
+// String returns the paper's name for the model.
+func (k Kind) String() string {
+	switch k {
+	case SimpleBroadcast:
+		return "simple broadcast"
+	case OutdegreeAware:
+		return "outdegree awareness"
+	case OutputPortAware:
+		return "output port awareness"
+	case Symmetric:
+		return "symmetric communications"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is one of the four models.
+func (k Kind) Valid() bool { return k >= SimpleBroadcast && k <= Symmetric }
+
+// Agent is the common part of every agent: the transition function
+// δ : Q × M⊕ → Q (Receive) and the output variable (§2.3). The engine
+// delivers the received multiset as a slice in a seeded-random order, so a
+// correct agent must not depend on slice order — the tests shuffle it.
+type Agent interface {
+	// Receive applies the transition function to the multiset of messages
+	// received this round. It is called exactly once per round, after the
+	// round's sends.
+	Receive(msgs []Message)
+	// Output returns the current output value x_i.
+	Output() Value
+}
+
+// Broadcaster is an agent for the simple-broadcast and symmetric models:
+// the sending function σ : Q → M sees nothing but the local state.
+type Broadcaster interface {
+	Agent
+	// Send returns the single message broadcast this round.
+	Send() Message
+}
+
+// OutdegreeSender is an agent for the outdegree-awareness model: σ may
+// depend on the current outdegree (the number of outgoing edges in this
+// round's communication graph, self-loop included).
+type OutdegreeSender interface {
+	Agent
+	// SendOutdegree returns the message broadcast this round, knowing that
+	// exactly outdeg copies will be delivered.
+	SendOutdegree(outdeg int) Message
+}
+
+// PortSender is an agent for the output-port-awareness model: σ returns one
+// message per output port 1..outdeg; the engine delivers msgs[p-1] on the
+// edge labelled p.
+type PortSender interface {
+	Agent
+	// SendPorts returns exactly outdeg messages, one per port.
+	SendPorts(outdeg int) []Message
+}
+
+// Factory builds the identical automaton run by every agent, parameterized
+// only by the agent's private input (anonymity: nothing else distinguishes
+// agents). Input carries the input value ω_i and, for the leader variants
+// of §4.5/§5.5, the leader flag.
+type Factory func(input Input) Agent
+
+// Input is an agent's private input: the value ω_i and the optional leader
+// mark (a distinguished initial state, §4.5).
+type Input struct {
+	Value  float64
+	Leader bool
+}
+
+// Corruptible is implemented by agents whose state can be scrambled in
+// place, enabling the self-stabilization experiments (§2.2): the engine
+// corrupts states mid-run and the harness measures recovery.
+type Corruptible interface {
+	// Corrupt overwrites the agent's volatile state with the given opaque
+	// junk; implementations interpret it freely (e.g. as a hash seed).
+	Corrupt(junk int64)
+}

@@ -1,0 +1,56 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindStringAndValid(t *testing.T) {
+	for _, k := range []Kind{SimpleBroadcast, OutdegreeAware, OutputPortAware, Symmetric} {
+		if !k.Valid() {
+			t.Errorf("%v not valid", k)
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	if Kind(0).Valid() || Kind(5).Valid() {
+		t.Fatal("out-of-range kinds reported valid")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("unknown kind string: %s", Kind(99).String())
+	}
+}
+
+func TestDiscreteMetric(t *testing.T) {
+	if Discrete(1.0, 1.0) != 0 || Discrete(1.0, 2.0) != 1 {
+		t.Fatal("discrete metric on floats wrong")
+	}
+	if Discrete([]float64{1, 2}, []float64{1, 2}) != 0 {
+		t.Fatal("discrete metric on slices wrong")
+	}
+	if Discrete(nil, nil) != 0 {
+		t.Fatal("discrete metric on nils wrong")
+	}
+	if Discrete(1.0, "1") != 1 {
+		t.Fatal("discrete metric on mixed types wrong")
+	}
+}
+
+func TestEuclidMetric(t *testing.T) {
+	if got := Euclid(3.0, 1.0); got != 2 {
+		t.Fatalf("Euclid floats = %v, want 2", got)
+	}
+	if got := Euclid([]float64{0, 3}, []float64{4, 0}); got != 5 {
+		t.Fatalf("Euclid vectors = %v, want 5", got)
+	}
+	if !math.IsInf(Euclid(1.0, "x"), 1) {
+		t.Fatal("mixed types should be at infinite distance")
+	}
+	if !math.IsInf(Euclid([]float64{1}, []float64{1, 2}), 1) {
+		t.Fatal("length mismatch should be at infinite distance")
+	}
+	if Euclid("a", "a") != 0 {
+		t.Fatal("equal non-numeric values should be at distance 0")
+	}
+}

@@ -1,0 +1,293 @@
+// Package multiset implements generic finite multisets.
+//
+// Multisets are the basic currency of the computing model of the paper:
+// the transition function of an algorithm is of type δ : Q × M⊕ → Q, where
+// M⊕ is the set of finite multisets over the message set M (§2.2), and the
+// arguments of a computable function are in effect multisets in Ω⊕ (§3.1,
+// Lemma 3.3).
+package multiset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiset is a finite multiset over a comparable element type. The zero
+// value is an empty multiset ready to use, but methods are on the pointer
+// receiver so that Add can lazily allocate.
+type Multiset[T comparable] struct {
+	counts map[T]int
+	size   int
+}
+
+// New returns a multiset containing the given elements.
+func New[T comparable](elems ...T) *Multiset[T] {
+	m := &Multiset[T]{counts: make(map[T]int, len(elems))}
+	for _, e := range elems {
+		m.Add(e)
+	}
+	return m
+}
+
+// FromCounts returns a multiset with the given multiplicities. Entries with
+// non-positive multiplicity are ignored.
+func FromCounts[T comparable](counts map[T]int) *Multiset[T] {
+	m := &Multiset[T]{counts: make(map[T]int, len(counts))}
+	for e, c := range counts {
+		if c > 0 {
+			m.counts[e] = c
+			m.size += c
+		}
+	}
+	return m
+}
+
+// Add inserts one occurrence of e.
+func (m *Multiset[T]) Add(e T) { m.AddN(e, 1) }
+
+// AddN inserts n occurrences of e. n must be non-negative; AddN panics
+// otherwise, because a negative multiplicity has no multiset meaning and
+// would silently corrupt the size invariant.
+func (m *Multiset[T]) AddN(e T, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("multiset: AddN with negative count %d", n))
+	}
+	if n == 0 {
+		return
+	}
+	if m.counts == nil {
+		m.counts = make(map[T]int)
+	}
+	m.counts[e] += n
+	m.size += n
+}
+
+// Remove deletes one occurrence of e, reporting whether e was present.
+func (m *Multiset[T]) Remove(e T) bool {
+	c := m.counts[e]
+	if c == 0 {
+		return false
+	}
+	if c == 1 {
+		delete(m.counts, e)
+	} else {
+		m.counts[e] = c - 1
+	}
+	m.size--
+	return true
+}
+
+// Count returns the multiplicity of e.
+func (m *Multiset[T]) Count(e T) int {
+	if m == nil {
+		return 0
+	}
+	return m.counts[e]
+}
+
+// Contains reports whether e occurs at least once.
+func (m *Multiset[T]) Contains(e T) bool { return m.Count(e) > 0 }
+
+// Len returns the total number of occurrences (cardinality with
+// multiplicity).
+func (m *Multiset[T]) Len() int {
+	if m == nil {
+		return 0
+	}
+	return m.size
+}
+
+// Distinct returns the number of distinct elements (the support size).
+func (m *Multiset[T]) Distinct() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.counts)
+}
+
+// Support returns the set of distinct elements in unspecified order.
+func (m *Multiset[T]) Support() []T {
+	if m == nil {
+		return nil
+	}
+	out := make([]T, 0, len(m.counts))
+	for e := range m.counts {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Counts returns a copy of the multiplicity map.
+func (m *Multiset[T]) Counts() map[T]int {
+	out := make(map[T]int, m.Distinct())
+	if m == nil {
+		return out
+	}
+	for e, c := range m.counts {
+		out[e] = c
+	}
+	return out
+}
+
+// Elems returns all occurrences as a slice in unspecified order.
+func (m *Multiset[T]) Elems() []T {
+	if m == nil {
+		return nil
+	}
+	out := make([]T, 0, m.size)
+	for e, c := range m.counts {
+		for i := 0; i < c; i++ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (m *Multiset[T]) Clone() *Multiset[T] {
+	c := &Multiset[T]{counts: make(map[T]int, m.Distinct()), size: m.Len()}
+	if m == nil {
+		return c
+	}
+	for e, n := range m.counts {
+		c.counts[e] = n
+	}
+	return c
+}
+
+// Union adds every occurrence of other into m (multiset sum).
+func (m *Multiset[T]) Union(other *Multiset[T]) {
+	if other == nil {
+		return
+	}
+	for e, c := range other.counts {
+		m.AddN(e, c)
+	}
+}
+
+// Equal reports whether m and other contain the same elements with the same
+// multiplicities.
+func (m *Multiset[T]) Equal(other *Multiset[T]) bool {
+	if m.Len() != other.Len() || m.Distinct() != other.Distinct() {
+		return false
+	}
+	if m == nil || other == nil {
+		return m.Len() == other.Len()
+	}
+	for e, c := range m.counts {
+		if other.counts[e] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// SameSupport reports whether m and other have the same set of distinct
+// elements, ignoring multiplicities. Two input vectors with the same support
+// are indistinguishable to set-based functions (§2.3).
+func (m *Multiset[T]) SameSupport(other *Multiset[T]) bool {
+	if m.Distinct() != other.Distinct() {
+		return false
+	}
+	if m == nil || other == nil {
+		return true
+	}
+	for e := range m.counts {
+		if other.counts[e] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SameFrequencies reports whether m and other induce the same frequency
+// function ν (§2.3): same support, and for every element the ratio
+// multiplicity/size is equal. Sizes may differ.
+func (m *Multiset[T]) SameFrequencies(other *Multiset[T]) bool {
+	if m.Len() == 0 || other.Len() == 0 {
+		return m.Len() == other.Len()
+	}
+	if !m.SameSupport(other) {
+		return false
+	}
+	n, p := m.Len(), other.Len()
+	for e, c := range m.counts {
+		// c/n == other.counts[e]/p  ⟺  c·p == other.counts[e]·n.
+		if c*p != other.counts[e]*n {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale returns a multiset where every multiplicity is multiplied by k > 0.
+// Scaling preserves frequencies, so f(m) == f(m.Scale(k)) for every
+// frequency-based f.
+func (m *Multiset[T]) Scale(k int) *Multiset[T] {
+	if k <= 0 {
+		panic(fmt.Sprintf("multiset: Scale with non-positive factor %d", k))
+	}
+	out := &Multiset[T]{counts: make(map[T]int, m.Distinct())}
+	if m == nil {
+		return out
+	}
+	for e, c := range m.counts {
+		out.counts[e] = c * k
+	}
+	out.size = m.size * k
+	return out
+}
+
+// Reduce returns the smallest multiset with the same frequency function:
+// every multiplicity divided by the gcd of all multiplicities. The reduced
+// multiset corresponds to the canonical vector ⟨ν⟩ of §2.3.
+func (m *Multiset[T]) Reduce() *Multiset[T] {
+	g := 0
+	if m != nil {
+		for _, c := range m.counts {
+			g = gcd(g, c)
+		}
+	}
+	if g <= 1 {
+		return m.Clone()
+	}
+	out := &Multiset[T]{counts: make(map[T]int, m.Distinct()), size: m.size / g}
+	for e, c := range m.counts {
+		out.counts[e] = c / g
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// String renders the multiset as {e:count, ...} with elements sorted by
+// their formatted representation, for stable test output.
+func (m *Multiset[T]) String() string {
+	type entry struct {
+		repr  string
+		count int
+	}
+	entries := make([]entry, 0, m.Distinct())
+	if m != nil {
+		for e, c := range m.counts {
+			entries = append(entries, entry{fmt.Sprint(e), c})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].repr < entries[j].repr })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range entries {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", e.repr, e.count)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOperations(t *testing.T) {
+	m := New(1, 2, 2, 3, 3, 3)
+	if got := m.Len(); got != 6 {
+		t.Fatalf("Len = %d, want 6", got)
+	}
+	if got := m.Distinct(); got != 3 {
+		t.Fatalf("Distinct = %d, want 3", got)
+	}
+	if got := m.Count(3); got != 3 {
+		t.Fatalf("Count(3) = %d, want 3", got)
+	}
+	if m.Contains(4) {
+		t.Fatal("Contains(4) = true, want false")
+	}
+	if !m.Remove(2) {
+		t.Fatal("Remove(2) = false, want true")
+	}
+	if got := m.Count(2); got != 1 {
+		t.Fatalf("Count(2) after Remove = %d, want 1", got)
+	}
+	if m.Remove(99) {
+		t.Fatal("Remove(99) = true, want false")
+	}
+	if got := m.Len(); got != 5 {
+		t.Fatalf("Len after Remove = %d, want 5", got)
+	}
+}
+
+func TestAddNNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddN(-1) did not panic")
+		}
+	}()
+	New[int]().AddN(1, -1)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Multiset[string]
+	m.Add("a")
+	if m.Count("a") != 1 || m.Len() != 1 {
+		t.Fatalf("zero-value multiset: got count %d len %d", m.Count("a"), m.Len())
+	}
+}
+
+func TestNilReceiverQueries(t *testing.T) {
+	var m *Multiset[int]
+	if m.Len() != 0 || m.Distinct() != 0 || m.Count(1) != 0 {
+		t.Fatal("nil receiver queries should report empty")
+	}
+	if m.Support() != nil {
+		t.Fatal("nil Support should be nil")
+	}
+}
+
+func TestFromCountsIgnoresNonPositive(t *testing.T) {
+	m := FromCounts(map[string]int{"a": 2, "b": 0, "c": -3})
+	if m.Len() != 2 || m.Distinct() != 1 {
+		t.Fatalf("FromCounts: len %d distinct %d, want 2 and 1", m.Len(), m.Distinct())
+	}
+}
+
+func TestUnionAndEqual(t *testing.T) {
+	a := New(1, 2)
+	b := New(2, 3)
+	a.Union(b)
+	want := New(1, 2, 2, 3)
+	if !a.Equal(want) {
+		t.Fatalf("Union = %v, want %v", a, want)
+	}
+	if a.Equal(New(1, 2, 3)) {
+		t.Fatal("Equal ignored multiplicities")
+	}
+}
+
+func TestSameSupport(t *testing.T) {
+	a := New(1.0, 1.0, 2.0)
+	b := New(1.0, 2.0, 2.0, 2.0)
+	if !a.SameSupport(b) {
+		t.Fatal("SameSupport = false for equal supports")
+	}
+	if a.SameFrequencies(b) {
+		t.Fatal("SameFrequencies = true for different frequencies")
+	}
+}
+
+func TestSameFrequenciesScaleInvariant(t *testing.T) {
+	a := New(1.0, 1.0, 2.0)
+	if !a.SameFrequencies(a.Scale(3)) {
+		t.Fatal("Scale(3) changed frequencies")
+	}
+	if !a.Scale(2).SameFrequencies(a.Scale(5)) {
+		t.Fatal("two scalings of the same multiset disagree in frequency")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	a := New(1, 1, 1, 1, 2, 2)
+	r := a.Reduce()
+	if r.Len() != 3 || r.Count(1) != 2 || r.Count(2) != 1 {
+		t.Fatalf("Reduce = %v, want {1:2, 2:1}", r)
+	}
+	// Already-coprime multiplicities are unchanged.
+	b := New(1, 2, 2)
+	if !b.Reduce().Equal(b) {
+		t.Fatalf("Reduce changed coprime multiset: %v", b.Reduce())
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	m := New("b", "a", "a")
+	if got, want := m.String(), "{a:2, b:1}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(1, 2)
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+// Property: Scale then Reduce is frequency-preserving and Reduce is
+// idempotent.
+func TestQuickScaleReduce(t *testing.T) {
+	f := func(counts map[int8]uint8, k uint8) bool {
+		m := New[int8]()
+		for v, c := range counts {
+			m.AddN(v, int(c%7))
+		}
+		if m.Len() == 0 {
+			return true
+		}
+		scale := int(k%5) + 1
+		s := m.Scale(scale)
+		if !m.SameFrequencies(s) {
+			return false
+		}
+		r := s.Reduce()
+		return r.SameFrequencies(m) && r.Reduce().Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Union's length is the sum of lengths; counts add.
+func TestQuickUnionCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b := New[int](), New[int]()
+		for i := 0; i < rng.Intn(20); i++ {
+			a.Add(rng.Intn(5))
+		}
+		for i := 0; i < rng.Intn(20); i++ {
+			b.Add(rng.Intn(5))
+		}
+		wantLen := a.Len() + b.Len()
+		wantCounts := a.Counts()
+		for v, c := range b.Counts() {
+			wantCounts[v] += c
+		}
+		a.Union(b)
+		if a.Len() != wantLen {
+			t.Fatalf("trial %d: union len %d, want %d", trial, a.Len(), wantLen)
+		}
+		for v, c := range wantCounts {
+			if a.Count(v) != c {
+				t.Fatalf("trial %d: count(%d) = %d, want %d", trial, v, a.Count(v), c)
+			}
+		}
+	}
+}

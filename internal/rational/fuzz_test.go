@@ -1,0 +1,35 @@
+package rational
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBestApprox cross-checks the continued-fraction best approximation
+// against the exhaustive oracle for arbitrary inputs.
+func FuzzBestApprox(f *testing.F) {
+	f.Add(0.5, 10)
+	f.Add(1.0/3, 7)
+	f.Add(math.Pi-3, 113)
+	f.Add(0.0, 1)
+	f.Add(0.9999999, 30)
+	f.Fuzz(func(t *testing.T, x float64, maxDen int) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x >= 1 {
+			t.Skip()
+		}
+		if maxDen < 1 || maxDen > 200 {
+			t.Skip()
+		}
+		got := BestApprox(x, maxDen)
+		if got.Denom().Int64() > int64(maxDen) {
+			t.Fatalf("BestApprox(%v, %d) = %v exceeds the denominator bound", x, maxDen, got)
+		}
+		want := bruteBest(x, maxDen)
+		gv, _ := got.Float64()
+		wv, _ := want.Float64()
+		if math.Abs(math.Abs(gv-x)-math.Abs(wv-x)) > 1e-12 {
+			t.Fatalf("BestApprox(%v, %d) = %v (err %g); oracle %v (err %g)",
+				x, maxDen, got, math.Abs(gv-x), want, math.Abs(wv-x))
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package rational
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankAndKernelKnownSystems(t *testing.T) {
+	// Star system: M = [[-4, 1], [4, -1]].
+	m := FromInts([][]int{{-4, 1}, {4, -1}})
+	if got := m.Rank(); got != 1 {
+		t.Fatalf("rank = %d, want 1", got)
+	}
+	z, err := m.IntegerKernelVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 2 || z[0] != 1 || z[1] != 4 {
+		t.Fatalf("z = %v, want [1 4]", z)
+	}
+}
+
+func TestIntegerKernelVectorCoprime(t *testing.T) {
+	// Kernel spanned by (2, 4, 6) → coprime form (1, 2, 3).
+	// Rows: x2 = 2·x1, x3 = 3·x1.
+	m := FromInts([][]int{
+		{2, -1, 0},
+		{3, 0, -1},
+		{0, 0, 0},
+	})
+	z, err := m.IntegerKernelVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z[0] != 1 || z[1] != 2 || z[2] != 3 {
+		t.Fatalf("z = %v, want [1 2 3]", z)
+	}
+}
+
+func TestIntegerKernelVectorRejects(t *testing.T) {
+	if _, err := FromInts([][]int{{1, 0}, {0, 1}}).IntegerKernelVector(); err == nil {
+		t.Fatal("trivial kernel accepted")
+	}
+	if _, err := FromInts([][]int{{0, 0}, {0, 0}}).IntegerKernelVector(); err == nil {
+		t.Fatal("2-dimensional kernel accepted")
+	}
+	// Kernel vector with mixed signs: x1 + x2 = 0.
+	if _, err := FromInts([][]int{{1, 1}, {0, 0}}).IntegerKernelVector(); err == nil {
+		t.Fatal("mixed-sign kernel accepted")
+	}
+}
+
+func TestKernelVectorsAnnihilate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		grid := make([][]int, n)
+		for i := range grid {
+			grid[i] = make([]int, n)
+			for j := range grid[i] {
+				grid[i][j] = rng.Intn(7) - 3
+			}
+		}
+		m := FromInts(grid)
+		for _, vec := range m.Kernel() {
+			img := m.Mul(vec)
+			for i, x := range img {
+				if x.Sign() != 0 {
+					t.Fatalf("trial %d: kernel vector not annihilated at row %d: %v", trial, i, img)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelDimensionPlusRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		grid := make([][]int, n)
+		for i := range grid {
+			grid[i] = make([]int, n)
+			for j := range grid[i] {
+				grid[i][j] = rng.Intn(5) - 2
+			}
+		}
+		m := FromInts(grid)
+		if m.Rank()+len(m.Kernel()) != n {
+			t.Fatalf("trial %d: rank %d + nullity %d ≠ %d", trial, m.Rank(), len(m.Kernel()), n)
+		}
+	}
+}
+
+func TestScaleToCoprimeInts(t *testing.T) {
+	v := []*big.Rat{big.NewRat(1, 2), big.NewRat(3, 4), big.NewRat(5, 2)}
+	z, err := ScaleToCoprimeInts(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1/2, 3/4, 5/2) × 4 = (2, 3, 10), already coprime.
+	if z[0] != 2 || z[1] != 3 || z[2] != 10 {
+		t.Fatalf("z = %v, want [2 3 10]", z)
+	}
+	// Negative vectors scale to positive.
+	neg := []*big.Rat{big.NewRat(-2, 1), big.NewRat(-4, 1)}
+	z, err = ScaleToCoprimeInts(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z[0] != 1 || z[1] != 2 {
+		t.Fatalf("z = %v, want [1 2]", z)
+	}
+}
+
+func TestBestApproxExactRationals(t *testing.T) {
+	for _, c := range []struct {
+		x    float64
+		den  int
+		want *big.Rat
+	}{
+		{0.5, 10, big.NewRat(1, 2)},
+		{1.0 / 3, 10, big.NewRat(1, 3)},
+		{2.0 / 7, 10, big.NewRat(2, 7)},
+		{0, 5, big.NewRat(0, 1)},
+		{1, 5, big.NewRat(1, 1)},
+		{-0.25, 8, big.NewRat(-1, 4)},
+		{2.75, 8, big.NewRat(11, 4)},
+	} {
+		got := BestApprox(c.x, c.den)
+		if got.Cmp(c.want) != 0 {
+			t.Errorf("BestApprox(%v, %d) = %v, want %v", c.x, c.den, got, c.want)
+		}
+	}
+}
+
+func TestBestApproxPi(t *testing.T) {
+	// Classic convergents of π: 22/7 and 355/113.
+	if got := BestApprox(math.Pi, 10); got.Cmp(big.NewRat(22, 7)) != 0 {
+		t.Errorf("π with den ≤ 10: got %v, want 22/7", got)
+	}
+	if got := BestApprox(math.Pi, 200); got.Cmp(big.NewRat(355, 113)) != 0 {
+		t.Errorf("π with den ≤ 200: got %v, want 355/113", got)
+	}
+}
+
+// bruteBest is the exhaustive reference for small denominators.
+func bruteBest(x float64, maxDen int) *big.Rat {
+	best := big.NewRat(0, 1)
+	bestErr := math.Inf(1)
+	for q := 1; q <= maxDen; q++ {
+		p := int(math.Round(x * float64(q)))
+		err := math.Abs(x - float64(p)/float64(q))
+		if err < bestErr-1e-15 {
+			bestErr = err
+			best = big.NewRat(int64(p), int64(q))
+		}
+	}
+	return best
+}
+
+func TestQuickBestApproxMatchesBruteForce(t *testing.T) {
+	f := func(num uint16, den uint16, maxDen uint8) bool {
+		d := int(den%500) + 1
+		x := float64(num%1000) / float64(d) / 1000 // x ∈ [0, 1)
+		n := int(maxDen%30) + 1
+		got := BestApprox(x, n)
+		want := bruteBest(x, n)
+		gv, _ := got.Float64()
+		wv, _ := want.Float64()
+		// Both must achieve the same (optimal) distance.
+		return math.Abs(math.Abs(gv-x)-math.Abs(wv-x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundToQNClamps(t *testing.T) {
+	if RoundToQN(-0.3, 5).Sign() != 0 {
+		t.Fatal("negative input should clamp to 0")
+	}
+	if RoundToQN(1.7, 5).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatal("input > 1 should clamp to 1")
+	}
+	if got := RoundToQN(0.332, 6); got.Cmp(big.NewRat(1, 3)) != 0 {
+		t.Fatalf("RoundToQN(0.332, 6) = %v, want 1/3", got)
+	}
+}
+
+func TestRoundToQNExactnessWindow(t *testing.T) {
+	// §5.4: distinct elements of ℚ_N are ≥ 1/N² apart, so any estimate
+	// within 1/(2N²) of a true frequency rounds to it exactly.
+	n := 12
+	window := 1 / (2 * float64(n) * float64(n))
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		q := 1 + rng.Intn(n)
+		p := rng.Intn(q + 1)
+		truth := big.NewRat(int64(p), int64(q))
+		tf, _ := truth.Float64()
+		noisy := tf + (rng.Float64()*2-1)*window*0.99
+		if got := RoundToQN(noisy, n); got.Cmp(truth) != 0 {
+			t.Fatalf("trial %d: RoundToQN(%v±, %d) = %v, want %v", trial, tf, n, got, truth)
+		}
+	}
+}
+
+func TestBestApproxPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { BestApprox(0.5, 0) },
+		func() { BestApprox(math.NaN(), 5) },
+		func() { BestApprox(math.Inf(1), 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0, 1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}

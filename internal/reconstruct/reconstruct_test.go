@@ -1,0 +1,68 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproximate(t *testing.T) {
+	m, ok := Approximate(map[float64]float64{1: 0.5, 2: 0.25, 3: 0.25}, 360360)
+	if !ok {
+		t.Fatal("Approximate failed")
+	}
+	if m.Count(1) != 2*m.Count(2) || m.Count(2) != m.Count(3) {
+		t.Fatalf("frequencies distorted: %v", m)
+	}
+	// Un-normalized quotients normalize.
+	m2, ok := Approximate(map[float64]float64{1: 1.0, 2: 0.5, 3: 0.5}, 360360)
+	if !ok || m2.Count(1) != 2*m2.Count(2) {
+		t.Fatalf("normalization failed: %v", m2)
+	}
+	if _, ok := Approximate(map[float64]float64{1: math.Inf(1)}, 100); ok {
+		t.Fatal("Approximate accepted an infinite quotient")
+	}
+	if _, ok := Approximate(map[float64]float64{}, 100); ok {
+		t.Fatal("Approximate accepted an empty map")
+	}
+	if _, ok := Approximate(map[float64]float64{1: -0.5}, 100); ok {
+		t.Fatal("Approximate accepted a negative quotient")
+	}
+}
+
+func TestRoundedExact(t *testing.T) {
+	// Noisy versions of ν = {1: 1/2, 2: 1/3, 7: 1/6} with N = 6.
+	noisy := map[float64]float64{1: 0.4999, 2: 0.3334, 7: 0.1666}
+	m, ok := Rounded(noisy, 6)
+	if !ok {
+		t.Fatal("Rounded failed")
+	}
+	// Exact ⟨ν⟩: denominators lcm(2,3,6) = 6 → counts (3, 2, 1).
+	if m.Count(1) != 3 || m.Count(2) != 2 || m.Count(7) != 1 {
+		t.Fatalf("rounded multiset %v, want {1:3, 2:2, 7:1}", m)
+	}
+	if _, ok := Rounded(map[float64]float64{1: math.NaN()}, 6); ok {
+		t.Fatal("Rounded accepted NaN")
+	}
+	if _, ok := Rounded(map[float64]float64{1: 0.001}, 6); ok {
+		t.Fatal("all-zero rounding should report failure")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	x := map[float64]float64{1: 0.501, 2: 0.332, 7: 0.167}
+	m, ok := Counts(x, 6)
+	if !ok {
+		t.Fatal("Counts failed")
+	}
+	if m.Count(1) != 3 || m.Count(2) != 2 || m.Count(7) != 1 {
+		t.Fatalf("count multiset %v, want {1:3, 2:2, 7:1}", m)
+	}
+	// Infinite quotients (leader variant transient) are skipped.
+	m2, ok := Counts(map[float64]float64{1: math.Inf(1), 2: 0.5}, 6)
+	if !ok || m2.Count(1) != 0 || m2.Count(2) != 3 {
+		t.Fatalf("infinite quotient handling wrong: %v", m2)
+	}
+	if _, ok := Counts(map[float64]float64{1: 0.01}, 6); ok {
+		t.Fatal("all-zero counts should report failure")
+	}
+}

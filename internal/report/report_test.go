@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "n", "value")
+	tb.AddRow("ring", 8, 3.875)
+	tb.AddRow("a-very-long-name", 16, 2.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// Column alignment: "n" values start at the same offset.
+	idx1 := strings.Index(lines[3], "8")
+	idx2 := strings.Index(lines[4], "16")
+	if idx1 == -1 || idx2 == -1 || idx1 != idx2 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "3.875") || !strings.Contains(out, " 2") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestRowPaddingAndTruncation(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1)          // short: padded
+	tb.AddRow(1, 2, 3, 4) // long: truncated
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	out := tb.String()
+	if strings.Contains(out, "3") || strings.Contains(out, "4") {
+		t.Fatalf("overflow cells leaked:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "col,1", "col2")
+	tb.AddRow(`say "hi"`, 7)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "\"col,1\",col2\n\"say \"\"hi\"\"\",7\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		2:        "2",
+		-3:       "-3",
+		0.5:      "0.5",
+		1.0 / 3:  "0.333333",
+		1e20:     "1e+20",
+		3.875000: "3.875",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
