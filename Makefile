@@ -1,0 +1,32 @@
+# Tier-1 verification and the race-checked service suite.
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench run-daemon clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# The concurrent engine, the anonnetd worker pool, and the job codec are
+# permanently race-checked: this is the CI gate.
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzSpecCodec -fuzztime=30s ./internal/job
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+run-daemon: build
+	$(GO) run ./cmd/anonnetd -addr :8080
+
+clean:
+	$(GO) clean ./...

@@ -36,6 +36,8 @@
 package anonnet
 
 import (
+	"context"
+
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
 	"anonnet/internal/engine"
@@ -272,6 +274,10 @@ type ComputeOptions struct {
 	// Starts optionally gives per-agent activation rounds (asynchronous
 	// starts).
 	Starts []int
+	// OnRound, when non-nil, is invoked after every completed round with
+	// the round number and the current output vector (round-by-round
+	// progress observation; see engine.Observer).
+	OnRound func(round int, outputs []Value)
 }
 
 // ComputeResult reports a Compute run.
@@ -293,6 +299,15 @@ type ComputeResult struct {
 // the round budget runs out) and returns the result. It is the convenience
 // entry point; use the engine API directly for fine-grained control.
 func Compute(factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
+	return ComputeCtx(context.Background(), factory, schedule, inputs, opts)
+}
+
+// ComputeCtx is Compute with cooperative cancellation: the context is
+// checked at every round boundary, so cancelling it (or letting its
+// deadline pass) aborts the execution with the context's error. This is
+// the entry point used by long-running callers such as the anonnetd
+// simulation service.
+func ComputeCtx(ctx context.Context, factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 10000
 	}
@@ -320,7 +335,7 @@ func Compute(factory Factory, schedule Schedule, inputs []Input, opts ComputeOpt
 		return nil, err
 	}
 	defer r.Close()
-	res, err := engine.RunUntilStable(r, model.Discrete, opts.Patience, opts.MaxRounds)
+	res, err := engine.RunUntilStableCtx(ctx, r, model.Discrete, opts.Patience, opts.MaxRounds, engine.Observer(opts.OnRound))
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"anonnet"
 	"anonnet/internal/algorithms/freqcalc"
@@ -20,7 +21,9 @@ import (
 	"anonnet/internal/engine"
 	"anonnet/internal/funcs"
 	"anonnet/internal/graph"
+	"anonnet/internal/job"
 	"anonnet/internal/model"
+	"anonnet/internal/service"
 )
 
 func benchInputs(n int, row core.Row) []model.Input {
@@ -412,4 +415,60 @@ func BenchmarkGossipFlooding(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServiceThroughput measures jobs/sec through the anonnetd worker
+// pool: "cold" submits b.N distinct computations (unique seeds, no cache
+// reuse possible); "cachehit" submits one computation b.N times, so all
+// but the first are served from the LRU without touching the pool. The
+// gap between the two is the service-layer perf baseline for future PRs.
+func BenchmarkServiceThroughput(b *testing.B) {
+	spec := func(seed int64) job.Spec {
+		return job.Spec{
+			Graph:    job.GraphSpec{Builder: "ring", N: 16},
+			Kind:     "od",
+			Function: "average",
+			Seed:     seed,
+		}
+	}
+	await := func(b *testing.B, svc *service.Service, want int64) {
+		for {
+			st := svc.Stats()
+			if st.Completed+st.Failed+st.Canceled+st.CacheHits >= want {
+				if st.Failed > 0 {
+					b.Fatalf("stats: %+v", st)
+				}
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		svc := service.New(service.Config{QueueDepth: b.N + 1, CacheSize: -1, ProgressEvery: 1 << 30})
+		defer svc.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Submit(spec(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		await(b, svc, int64(b.N))
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
+	b.Run("cachehit", func(b *testing.B) {
+		svc := service.New(service.Config{QueueDepth: b.N + 1, ProgressEvery: 1 << 30})
+		defer svc.Close()
+		if _, err := svc.Submit(spec(0)); err != nil {
+			b.Fatal(err)
+		}
+		await(b, svc, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Submit(spec(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		await(b, svc, int64(b.N)+1)
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
 }

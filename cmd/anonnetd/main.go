@@ -1,0 +1,112 @@
+// Command anonnetd is the anonnet simulation service: a long-running
+// daemon that accepts simulation jobs over HTTP/JSON, executes them on a
+// worker pool through the §2.2 round engines, caches results by canonical
+// spec hash, and streams round-by-round convergence as NDJSON.
+//
+// Start it and submit an average-on-a-ring job:
+//
+//	anonnetd -addr :8080 &
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "graph": {"builder": "ring", "n": 16},
+//	  "kind": "od", "function": "average"
+//	}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -N localhost:8080/v1/jobs/j000001/stream
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops, the
+// queue drains in-flight jobs up to -grace, then remaining jobs are
+// canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anonnet/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "anonnetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "bounded job-queue depth")
+		cache   = flag.Int("cache", 128, "LRU result-cache entries")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
+		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight jobs are canceled")
+		every   = flag.Int("every", 1, "publish stream progress every k rounds")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cache,
+		JobTimeout:    *timeout,
+		ProgressEvery: *every,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("anonnetd: listening on %s (workers=%d queue=%d cache=%d timeout=%v)",
+			*addr, svc.Stats().Workers, *queue, *cache, *timeout)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("anonnetd: shutting down, draining in-flight jobs (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("anonnetd: http shutdown: %v", err)
+	}
+
+	// Drain the pool: give the queue the remaining grace budget, then
+	// cancel whatever is still running and wait for the workers to exit.
+	drained := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		log.Printf("anonnetd: drained cleanly")
+	case <-shutdownCtx.Done():
+		n := svc.CancelAll()
+		log.Printf("anonnetd: grace expired, canceled %d jobs", n)
+		<-drained
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"anonnet/internal/job"
+	"anonnet/internal/service"
+)
+
+// maxSpecBytes bounds a submitted spec body (a 4096-agent value vector is
+// well under this).
+const maxSpecBytes = 1 << 20
+
+// server wraps a service.Service in the HTTP/JSON API.
+type server struct {
+	svc   *service.Service
+	start time.Time
+}
+
+// newMux routes the API:
+//
+//	POST   /v1/jobs             submit a job.Spec, 202 (or 200 on cache hit)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + result
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /v1/jobs/{id}/stream NDJSON round-by-round progress
+//	GET    /v1/stats            service counters
+//	GET    /healthz             liveness
+//	GET    /debug/vars          expvar (includes the anonnetd map)
+func newMux(svc *service.Service) *http.ServeMux {
+	s := &server{svc: svc, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	spec, err := job.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.svc.Submit(spec)
+	if err != nil {
+		var verr *job.Error
+		switch {
+		case errors.As(err, &verr):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, service.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, service.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			// A well-formed spec the tables forbid (e.g. sum under plain
+			// outdegree awareness): semantically unprocessable.
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	status := http.StatusAccepted
+	if j.State == service.StateDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, j)
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.svc.List()})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleStream serves NDJSON: one service.Progress object per line,
+// round-by-round while the job runs, ending with the terminal event (or
+// earlier if the client goes away).
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	ch, stop, err := s.svc.Watch(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Done {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.start).String(),
+		"stats":   s.svc.Stats(),
+		"version": "anonnetd/1",
+	})
+}

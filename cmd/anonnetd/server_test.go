@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"anonnet/internal/service"
+)
+
+func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(newMux(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.CancelAll()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) (service.Job, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j service.Job
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Logf("POST /v1/jobs → %d: %s", resp.StatusCode, buf.String())
+	}
+	return j, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) service.Job {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s → %d", id, resp.StatusCode)
+	}
+	var j service.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) service.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j := getJob(t, ts, id)
+		if j.State.Terminal() {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return service.Job{}
+}
+
+// pushSumRingSpec is the acceptance scenario: Push-Sum (outdegree-aware,
+// Table 2 via dynamic=true) computing the average on a 16-node ring, with
+// the known bound enabling the §5.4 exact rounding. The true average of
+// 1..16 is 8.5.
+const pushSumRingSpec = `{
+  "graph": {"builder": "ring", "n": 16},
+  "kind": "od",
+  "dynamic": true,
+  "row": "bound",
+  "bound_n": 16,
+  "function": "average",
+  "seed": 1
+}`
+
+func TestEndToEndPushSumRing(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+
+	j, code := postJob(t, ts, pushSumRingSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submission → %d, want 202", code)
+	}
+	done := waitDone(t, ts, j.ID)
+	if done.State != service.StateDone || done.Result == nil {
+		t.Fatalf("job finished %q: %+v", done.State, done.Error)
+	}
+	for i, o := range done.Result.Outputs {
+		if math.Abs(float64(o)-8.5) > 1e-9 {
+			t.Fatalf("output %d = %v, want 8.5", i, o)
+		}
+	}
+
+	// The identical spec (different spelling) is served from the cache.
+	j2, code := postJob(t, ts, strings.Replace(pushSumRingSpec, `"od"`, `"outdegree"`, 1))
+	if code != http.StatusOK {
+		t.Fatalf("second submission → %d, want 200 (cache hit)", code)
+	}
+	if !j2.CacheHit || j2.State != service.StateDone {
+		t.Fatalf("second submission not a cache hit: %+v", j2)
+	}
+	if j2.Hash != done.Hash {
+		t.Fatalf("hashes differ: %s vs %s", j2.Hash, done.Hash)
+	}
+
+	var stats service.Stats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 {
+		t.Fatalf("cache_hits = %d, want 1 (stats %+v)", stats.CacheHits, stats)
+	}
+}
+
+func TestEndToEndStream(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+	j, code := postJob(t, ts, pushSumRingSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submission → %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lines, sawDone := 0, false
+	for sc.Scan() {
+		var ev service.Progress
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines++
+		if ev.Done {
+			sawDone = true
+		}
+	}
+	if lines == 0 || !sawDone {
+		t.Fatalf("stream had %d lines, done=%v", lines, sawDone)
+	}
+}
+
+func TestEndToEndCancel(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	long := `{
+	  "graph": {"builder": "randomdyn", "n": 8},
+	  "kind": "od", "function": "average",
+	  "max_rounds": 500000, "patience": 500000, "seed": 7
+	}`
+	j, code := postJob(t, ts, long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submission → %d", code)
+	}
+	// Wait until it is actually running, then cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for getJob(t, ts, j.ID).State != service.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+j.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE → %d", resp.StatusCode)
+	}
+	got := waitDone(t, ts, j.ID)
+	if got.State != service.StateCanceled {
+		t.Fatalf("state after cancel = %q", got.State)
+	}
+}
+
+func TestEndToEndErrors(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"graph":{"builder":"klein","n":4},"kind":"od","function":"average"}`, http.StatusBadRequest},
+		{`{"graph":{"builder":"ring","n":8},"kind":"od","function":"sum"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("POST %q → %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/j999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job → %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz → %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/debug/vars"); err != nil {
+		t.Fatal(err)
+	} else {
+		var vars map[string]any
+		err := json.NewDecoder(resp.Body).Decode(&vars)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("debug/vars → %d (%v)", resp.StatusCode, err)
+		}
+		if _, ok := vars["anonnetd"]; !ok {
+			t.Fatalf("expvar map missing anonnetd key: %v", fmt.Sprint(vars)[:min(200, len(fmt.Sprint(vars)))])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,10 +27,27 @@ type StableResult struct {
 	Outputs []model.Value
 }
 
+// Observer is a per-round callback: after every completed round the
+// harness hands it the round number and the current output vector. The
+// slice is owned by the observer (it is freshly allocated each round).
+// Observers enable round-by-round progress streaming without giving
+// callers control of the loop.
+type Observer func(round int, outputs []model.Value)
+
 // RunUntilStable steps r until the outputs are unchanged (distance 0 under
 // met) for `patience` consecutive rounds, or until maxRounds. The discrete
 // metric makes this "computation in finite time" detection (§2.3).
 func RunUntilStable(r Runner, met model.Metric, patience, maxRounds int) (*StableResult, error) {
+	return RunUntilStableCtx(context.Background(), r, met, patience, maxRounds, nil)
+}
+
+// RunUntilStableCtx is RunUntilStable with cooperative cancellation and an
+// optional per-round observer. The context is checked between rounds, so a
+// cancellation or deadline aborts the execution at the next round boundary
+// with the context's error; obs (when non-nil) is invoked after every
+// round. Both engines are driven through this loop, so the context bounds
+// sequential and concurrent executions alike.
+func RunUntilStableCtx(ctx context.Context, r Runner, met model.Metric, patience, maxRounds int, obs Observer) (*StableResult, error) {
 	if patience < 1 {
 		return nil, fmt.Errorf("engine: RunUntilStable: patience %d, want ≥ 1", patience)
 	}
@@ -37,10 +55,16 @@ func RunUntilStable(r Runner, met model.Metric, patience, maxRounds int) (*Stabl
 	stableSince := 0
 	unchanged := 0
 	for t := 1; t <= maxRounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: run aborted after %d rounds: %w", r.Round(), err)
+		}
 		if err := r.Step(); err != nil {
 			return nil, err
 		}
 		cur := r.Outputs()
+		if obs != nil {
+			obs(r.Round(), cur)
+		}
 		if outputsEqual(prev, cur, met) {
 			if unchanged == 0 {
 				stableSince = r.Round() - 1
@@ -84,12 +108,24 @@ type CloseResult struct {
 // maxRounds — the Euclidean-metric computability criterion of §2.3 with the
 // limit known to the harness.
 func RunUntilClose(r Runner, target model.Value, met model.Metric, eps float64, maxRounds int) (*CloseResult, error) {
+	return RunUntilCloseCtx(context.Background(), r, target, met, eps, maxRounds, nil)
+}
+
+// RunUntilCloseCtx is RunUntilClose with cooperative cancellation and an
+// optional per-round observer; see RunUntilStableCtx.
+func RunUntilCloseCtx(ctx context.Context, r Runner, target model.Value, met model.Metric, eps float64, maxRounds int, obs Observer) (*CloseResult, error) {
 	var res CloseResult
 	for t := 1; t <= maxRounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: run aborted after %d rounds: %w", r.Round(), err)
+		}
 		if err := r.Step(); err != nil {
 			return nil, err
 		}
 		res.Outputs = r.Outputs()
+		if obs != nil {
+			obs(r.Round(), res.Outputs)
+		}
 		res.MaxErr = maxDistance(res.Outputs, target, met)
 		res.Rounds = r.Round()
 		if res.MaxErr <= eps {
@@ -117,8 +153,18 @@ func maxDistance(outputs []model.Value, target model.Value, met model.Metric) fl
 // RunRounds steps r exactly `rounds` times and returns the history of
 // output vectors, history[t] being the outputs after round t+1.
 func RunRounds(r Runner, rounds int) ([][]model.Value, error) {
+	return RunRoundsCtx(context.Background(), r, rounds)
+}
+
+// RunRoundsCtx is RunRounds with cooperative cancellation: the context is
+// checked between rounds, and an abort returns the partial history with
+// the context's error.
+func RunRoundsCtx(ctx context.Context, r Runner, rounds int) ([][]model.Value, error) {
 	history := make([][]model.Value, 0, rounds)
 	for t := 0; t < rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return history, fmt.Errorf("engine: run aborted after %d rounds: %w", r.Round(), err)
+		}
 		if err := r.Step(); err != nil {
 			return history, err
 		}

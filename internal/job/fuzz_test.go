@@ -1,0 +1,80 @@
+package job
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSpecCodec checks the JSON codec's safety properties, in the style of
+// minbase's codec fuzzing: arbitrary bytes never panic; whatever Decode
+// accepts either fails validation with a typed *Error or canonicalizes
+// idempotently and round-trips through encode∘decode with an unchanged
+// content hash.
+func FuzzSpecCodec(f *testing.F) {
+	seeds := []string{
+		`{"graph":{"builder":"ring","n":8},"kind":"od","function":"average"}`,
+		`{"graph":{"builder":"torus","rows":3,"cols":4},"kind":"sym","row":"size","function":"sum","seed":9}`,
+		`{"graph":{"builder":"star","n":5},"kind":"od","row":"leader","leaders":[0,0,2],"function":"count"}`,
+		`{"graph":{"builder":"randomdyn","n":6},"kind":"od","function":"average","max_rounds":50}`,
+		`{"graph":{"builder":"hypercube","d":3},"kind":"op","function":"mode","values":[1,1,2,2,3,3,4,4]}`,
+		`{"graph":{"builder":"ring","n":2},"kind":"bc","function":"max","starts":[1,3],"concurrent":true}`,
+		`{"graph":{"builder":"geometric","n":4,"radius":0.5},"kind":"sym","row":"bound","bound_n":8,"function":"average"}`,
+		`not json at all`,
+		`{"graph":{"builder":"ring","n":1e99},"kind":"od","function":"average"}`,
+		`{}`,
+		`[1,2,3]`,
+		`{"graph":{"builder":"ring","n":4},"kind":"od","function":"average"} //x`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			assertTyped(t, err)
+			return
+		}
+		c, err := s.Canonical()
+		if err != nil {
+			assertTyped(t, err)
+			return
+		}
+		h1, err := c.Hash()
+		if err != nil {
+			t.Fatalf("canonical spec failed to hash: %v", err)
+		}
+		// Canonicalization is idempotent on accepted specs.
+		c2, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("canonical spec rejected on re-canonicalization: %v", err)
+		}
+		h2, err := c2.Hash()
+		if err != nil || h1 != h2 {
+			t.Fatalf("canonicalization not idempotent: %q vs %q (%v)", h1, h2, err)
+		}
+		// decode∘encode is the identity on canonical forms.
+		b, err := Encode(c)
+		if err != nil {
+			t.Fatalf("canonical spec failed to encode: %v", err)
+		}
+		back, err := Decode(b)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected by Decode: %v", err)
+		}
+		h3, err := back.Hash()
+		if err != nil || h3 != h1 {
+			t.Fatalf("encode/decode changed the hash: %q vs %q (%v)", h1, h3, err)
+		}
+	})
+}
+
+func assertTyped(t *testing.T, err error) {
+	t.Helper()
+	var verr *Error
+	if !errors.As(err, &verr) {
+		t.Fatalf("rejection is not a typed *Error: %T %v", err, err)
+	}
+	if verr.Field == "" || verr.Reason == "" {
+		t.Fatalf("typed error missing field/reason: %+v", verr)
+	}
+}

@@ -1,0 +1,230 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"anonnet/internal/core"
+	"anonnet/internal/dynamic"
+	"anonnet/internal/engine"
+	"anonnet/internal/funcs"
+	"anonnet/internal/model"
+)
+
+// F64 is a float64 that JSON-encodes non-finite values as the strings
+// "NaN", "+Inf", and "-Inf" instead of failing to marshal — a service
+// result must always be serializable, whatever the algorithm produced.
+type F64 float64
+
+// MarshalJSON implements json.Marshaler.
+func (f F64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both the numeric
+// and the string forms.
+func (f *F64) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = F64(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("job: F64: %q is neither number nor string", b)
+	}
+	switch s {
+	case "NaN":
+		*f = F64(math.NaN())
+	case "+Inf", "Inf":
+		*f = F64(math.Inf(1))
+	case "-Inf":
+		*f = F64(math.Inf(-1))
+	default:
+		return fmt.Errorf("job: F64: unknown string value %q", s)
+	}
+	return nil
+}
+
+// Compiled is a validated, executable job: the canonical spec plus every
+// artifact needed to run it — the schedule, the table setting, the
+// dispatched factory, and the marked inputs.
+type Compiled struct {
+	// Spec is the canonical form; Hash its content hash.
+	Spec Spec
+	Hash string
+	// N is the number of agents.
+	N int
+	// Setting is the table cell the spec instantiates.
+	Setting core.Setting
+	// Func is the resolved catalog function.
+	Func funcs.Func
+	// Factory is the algorithm realizing the cell, from core.NewFactory.
+	Factory model.Factory
+	// Schedule is the built network.
+	Schedule dynamic.Schedule
+	// Inputs are the private inputs with leaders marked.
+	Inputs []model.Input
+	// Expected is f applied to the inputs — the ground truth the harness
+	// measures errors against.
+	Expected float64
+}
+
+// Compile validates the spec, builds the network, dispatches the function
+// to the algorithm realizing the setting's cell, and returns the
+// executable job. Validation failures are *Error; a table-forbidden
+// (function, setting) pair surfaces core.NewFactory's explanatory error.
+func Compile(s Spec) (*Compiled, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := c.Hash()
+	if err != nil {
+		return nil, err
+	}
+	info := builders[c.Graph.Builder]
+	n, verr := info.n(c.Graph)
+	if verr != nil {
+		return nil, verr
+	}
+	kind, _, verr := parseKind(c.Kind)
+	if verr != nil {
+		return nil, verr
+	}
+	row, _, verr := parseRow(c.Row)
+	if verr != nil {
+		return nil, verr
+	}
+	f, verr := lookupFunc(c.Function)
+	if verr != nil {
+		return nil, verr
+	}
+	setting := core.Setting{
+		Kind:    kind,
+		Static:  info.static && !c.Dynamic,
+		Row:     row,
+		BoundN:  c.BoundN,
+		KnownN:  n,
+		Leaders: len(c.Leaders),
+	}
+	factory, err := core.NewFactory(f, setting)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([]model.Input, n)
+	for i, v := range c.Values {
+		inputs[i] = model.Input{Value: v}
+	}
+	for _, l := range c.Leaders {
+		inputs[l].Leader = true
+	}
+	return &Compiled{
+		Spec:     c,
+		Hash:     hash,
+		N:        n,
+		Setting:  setting,
+		Func:     f,
+		Factory:  factory,
+		Schedule: info.build(c.Graph, n, c.Seed),
+		Inputs:   inputs,
+		Expected: f.FromVector(c.Values),
+	}, nil
+}
+
+// Result reports one finished run.
+type Result struct {
+	// Outputs is the final output vector.
+	Outputs []F64 `json:"outputs"`
+	// Stable is true when the outputs stabilized exactly within the
+	// budget; asymptotic algorithms may report false while converged
+	// numerically — check MaxErr.
+	Stable bool `json:"stable"`
+	// StabilizedAt is the first round from which outputs never changed
+	// (when Stable).
+	StabilizedAt int `json:"stabilized_at,omitempty"`
+	// Rounds is the number of rounds executed.
+	Rounds int `json:"rounds"`
+	// Expected is the ground-truth value f(v).
+	Expected F64 `json:"expected"`
+	// MaxErr is max_i |x_i − f(v)| at the end of the run.
+	MaxErr F64 `json:"max_err"`
+	// Messages counts every delivered message.
+	Messages int64 `json:"messages"`
+}
+
+// Run executes the compiled job to stabilization (or budget exhaustion)
+// under ctx, reporting each round to obs when non-nil. A context
+// cancellation or deadline aborts at the next round boundary and surfaces
+// the context's error. Equal compiled jobs produce equal results: both
+// engines are deterministic in the spec's seed.
+func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error) {
+	cfg := engine.Config{
+		Schedule: c.Schedule,
+		Kind:     c.Setting.Kind,
+		Inputs:   c.Inputs,
+		Factory:  c.Factory,
+		Seed:     c.Spec.Seed,
+		Starts:   c.Spec.Starts,
+	}
+	var (
+		r   engine.Runner
+		err error
+	)
+	if c.Spec.Concurrent {
+		r, err = engine.NewConcurrent(cfg)
+	} else {
+		r, err = engine.New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	res, err := engine.RunUntilStableCtx(ctx, r, model.Discrete, c.Spec.Patience, c.Spec.MaxRounds, obs)
+	if err != nil {
+		return nil, err
+	}
+	outputs, maxErr := Numeric(res.Outputs, c.Expected)
+	return &Result{
+		Outputs:      outputs,
+		Stable:       res.Stable,
+		StabilizedAt: res.StabilizedAt,
+		Rounds:       res.Rounds,
+		Expected:     F64(c.Expected),
+		MaxErr:       F64(maxErr),
+		Messages:     r.Stats().MessagesDelivered,
+	}, nil
+}
+
+// Numeric converts an engine output vector to serializable floats and
+// computes the maximal absolute error against the expected value.
+// Non-numeric outputs (an algorithm mid-handshake may expose none) become
+// NaN, which F64 serializes as "NaN".
+func Numeric(outs []model.Value, expected float64) ([]F64, float64) {
+	vals := make([]F64, len(outs))
+	maxErr := 0.0
+	for i, o := range outs {
+		f, ok := o.(float64)
+		if !ok {
+			vals[i] = F64(math.NaN())
+			maxErr = math.Inf(1)
+			continue
+		}
+		vals[i] = F64(f)
+		if d := math.Abs(f - expected); d > maxErr || math.IsNaN(d) {
+			maxErr = d
+		}
+	}
+	return vals, maxErr
+}

@@ -1,0 +1,494 @@
+// Package job defines the unit of work served by the anonnetd simulation
+// service: a JSON-serializable, validated Spec naming one cell of the
+// paper's computability landscape instantiated on one concrete network —
+// graph builder + parameters + seed, communication model, centralized
+// help, function, and convergence budget — together with a canonical
+// content hash (so identical computations share one cache entry) and an
+// executor that runs the spec through the round engines under a
+// context.Context.
+package job
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"anonnet/internal/core"
+	"anonnet/internal/dynamic"
+	"anonnet/internal/funcs"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+// Resource ceilings: a service accepting specs from the network must bound
+// the work a single job can demand.
+const (
+	// MaxAgents bounds the network size n.
+	MaxAgents = 4096
+	// MaxRoundsCeiling bounds the round budget.
+	MaxRoundsCeiling = 1_000_000
+)
+
+// Error is a typed validation error: Field names the offending spec field
+// (JSON name), Reason says what is wrong. The codec never panics on
+// invalid input; it returns *Error.
+type Error struct {
+	Field  string
+	Reason string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("job: invalid spec: %s: %s", e.Field, e.Reason) }
+
+func errf(field, format string, args ...any) *Error {
+	return &Error{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// GraphSpec names a network builder and its parameters. Exactly the
+// builders of cmd/anonsim are supported; dimensioned families (torus, de
+// Bruijn, hypercube) use K/D/Rows/Cols instead of N.
+type GraphSpec struct {
+	// Builder is one of: ring, bidiring, star, path, complete, hypercube,
+	// debruijn, torus, random, randomsym, geometric, splitring, randomdyn,
+	// pairwise.
+	Builder string `json:"builder"`
+	// N is the number of vertices (builders with a single size parameter).
+	N int `json:"n,omitempty"`
+	// K is the de Bruijn alphabet size.
+	K int `json:"k,omitempty"`
+	// D is the hypercube / de Bruijn dimension.
+	D int `json:"d,omitempty"`
+	// Rows and Cols are the torus dimensions.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Extra is the surplus-edge count of the random builders (default n).
+	Extra int `json:"extra,omitempty"`
+	// Radius is the connection radius of the geometric builder
+	// (default 0.35).
+	Radius float64 `json:"radius,omitempty"`
+}
+
+// Spec is one simulation job. The zero value is invalid; Canonical
+// validates and normalizes.
+type Spec struct {
+	// Graph names the network.
+	Graph GraphSpec `json:"graph"`
+	// Kind is the communication model: bc, od, op, or sym (anonsim's
+	// aliases are accepted and normalized).
+	Kind string `json:"kind"`
+	// Row is the centralized-help row: nohelp (default), bound, size, or
+	// leader.
+	Row string `json:"row,omitempty"`
+	// BoundN is the known bound N ≥ n (row=bound).
+	BoundN int `json:"bound_n,omitempty"`
+	// Leaders lists the leader agent indices (row=leader marks them and
+	// passes their count as help).
+	Leaders []int `json:"leaders,omitempty"`
+	// Function is a catalog name (average, max, sum, …).
+	Function string `json:"function"`
+	// Values are the private inputs, one per agent (default 1..n).
+	Values []float64 `json:"values,omitempty"`
+	// Seed drives delivery-order shuffling and the random builders.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxRounds bounds the execution (default 10000).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Patience is the unchanged-round window treated as stabilization
+	// (default 2n+10 static, n²+2n+10 dynamic — asymptotic algorithms
+	// plateau for stretches that grow with the Theorem 5.2 mixing
+	// budget before converging).
+	Patience int `json:"patience,omitempty"`
+	// Dynamic forces Table 2 treatment even on a static builder.
+	Dynamic bool `json:"dynamic,omitempty"`
+	// Concurrent selects the goroutine-per-agent engine.
+	Concurrent bool `json:"concurrent,omitempty"`
+	// Starts optionally gives per-agent activation rounds ≥ 1
+	// (asynchronous starts).
+	Starts []int `json:"starts,omitempty"`
+}
+
+// builderInfo describes one graph family: whether its schedule is static,
+// how many vertices a spec yields, and how to build the schedule.
+type builderInfo struct {
+	static bool
+	n      func(g GraphSpec) (int, *Error)
+	build  func(g GraphSpec, n int, seed int64) dynamic.Schedule
+}
+
+func sizeN(g GraphSpec) (int, *Error) {
+	if g.N < 1 {
+		return 0, errf("graph.n", "builder %q needs n ≥ 1, got %d", g.Builder, g.N)
+	}
+	return g.N, nil
+}
+
+var builders = map[string]builderInfo{
+	"ring": {static: true, n: sizeN, build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+		return dynamic.NewStatic(graph.Ring(n).AssignPorts())
+	}},
+	"bidiring": {static: true, n: sizeN, build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+		return dynamic.NewStatic(graph.BidirectionalRing(n).AssignPorts())
+	}},
+	"star": {static: true, n: sizeN, build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+		return dynamic.NewStatic(graph.Star(n).AssignPorts())
+	}},
+	"path": {static: true, n: sizeN, build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+		return dynamic.NewStatic(graph.Path(n).AssignPorts())
+	}},
+	"complete": {static: true, n: sizeN, build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+		return dynamic.NewStatic(graph.Complete(n).AssignPorts())
+	}},
+	"hypercube": {static: true,
+		n: func(g GraphSpec) (int, *Error) {
+			if g.D < 0 || g.D > 12 {
+				return 0, errf("graph.d", "hypercube dimension %d out of range [0, 12]", g.D)
+			}
+			return 1 << g.D, nil
+		},
+		build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+			return dynamic.NewStatic(graph.Hypercube(g.D).AssignPorts())
+		}},
+	"debruijn": {static: true,
+		n: func(g GraphSpec) (int, *Error) {
+			if g.K < 1 || g.D < 0 {
+				return 0, errf("graph.k", "debruijn needs k ≥ 1 and d ≥ 0, got k=%d d=%d", g.K, g.D)
+			}
+			n := 1
+			for i := 0; i < g.D; i++ {
+				n *= g.K
+				if n > MaxAgents {
+					return 0, errf("graph.d", "debruijn %d^%d exceeds %d agents", g.K, g.D, MaxAgents)
+				}
+			}
+			return n, nil
+		},
+		build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+			return dynamic.NewStatic(graph.DeBruijn(g.K, g.D).AssignPorts())
+		}},
+	"torus": {static: true,
+		n: func(g GraphSpec) (int, *Error) {
+			if g.Rows < 1 || g.Cols < 1 {
+				return 0, errf("graph.rows", "torus needs rows ≥ 1 and cols ≥ 1, got %d×%d", g.Rows, g.Cols)
+			}
+			return g.Rows * g.Cols, nil
+		},
+		build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+			return dynamic.NewStatic(graph.Torus(g.Rows, g.Cols).AssignPorts())
+		}},
+	"random": {static: true, n: sizeN, build: func(g GraphSpec, n int, seed int64) dynamic.Schedule {
+		return dynamic.NewStatic(graph.RandomStronglyConnected(n, extra(g, n), rand.New(rand.NewSource(seed))).AssignPorts())
+	}},
+	"randomsym": {static: true, n: sizeN, build: func(g GraphSpec, n int, seed int64) dynamic.Schedule {
+		return dynamic.NewStatic(graph.RandomSymmetricConnected(n, extra(g, n), rand.New(rand.NewSource(seed))).AssignPorts())
+	}},
+	"geometric": {static: true, n: sizeN, build: func(g GraphSpec, n int, seed int64) dynamic.Schedule {
+		r := g.Radius
+		if r == 0 {
+			r = 0.35
+		}
+		return dynamic.NewStatic(graph.RandomGeometric(n, r, rand.New(rand.NewSource(seed))).AssignPorts())
+	}},
+	"splitring": {static: false, n: sizeN, build: func(g GraphSpec, n int, _ int64) dynamic.Schedule {
+		return &dynamic.SplitRing{Vertices: n}
+	}},
+	"randomdyn": {static: false, n: sizeN, build: func(g GraphSpec, n int, seed int64) dynamic.Schedule {
+		return &dynamic.RandomConnected{Vertices: n, ExtraEdges: 2, Seed: seed}
+	}},
+	"pairwise": {static: false, n: sizeN, build: func(g GraphSpec, n int, seed int64) dynamic.Schedule {
+		return &dynamic.Pairwise{Vertices: n, Seed: seed}
+	}},
+}
+
+func extra(g GraphSpec, n int) int {
+	if g.Extra > 0 {
+		return g.Extra
+	}
+	return n
+}
+
+func builderNames() string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func parseKind(s string) (model.Kind, string, *Error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "bc", "broadcast":
+		return model.SimpleBroadcast, "bc", nil
+	case "od", "outdegree":
+		return model.OutdegreeAware, "od", nil
+	case "op", "port", "ports":
+		return model.OutputPortAware, "op", nil
+	case "sym", "symmetric":
+		return model.Symmetric, "sym", nil
+	default:
+		return 0, "", errf("kind", "unknown model %q (want bc, od, op, or sym)", s)
+	}
+}
+
+func parseRow(s string) (core.Row, string, *Error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "nohelp", "none":
+		return core.RowNoHelp, "nohelp", nil
+	case "bound":
+		return core.RowBound, "bound", nil
+	case "size", "n":
+		return core.RowSize, "size", nil
+	case "leader", "leaders":
+		return core.RowLeader, "leader", nil
+	default:
+		return 0, "", errf("row", "unknown help row %q (want nohelp, bound, size, or leader)", s)
+	}
+}
+
+func lookupFunc(name string) (funcs.Func, *Error) {
+	for _, f := range funcs.Catalog() {
+		if strings.EqualFold(f.Name, strings.TrimSpace(name)) {
+			return f, nil
+		}
+	}
+	return funcs.Func{}, errf("function", "unknown function %q", name)
+}
+
+// Canonical validates s and returns its canonical form: aliases
+// normalized, defaults materialized (values 1..n, patience 2n+10,
+// max_rounds 10000), leaders sorted and deduplicated. Two specs denoting
+// the same computation have equal canonical forms, hence equal hashes.
+// The input is not modified.
+func (s Spec) Canonical() (Spec, error) {
+	c := s
+
+	info, ok := builders[strings.ToLower(strings.TrimSpace(s.Graph.Builder))]
+	if !ok {
+		return Spec{}, errf("graph.builder", "unknown builder %q (want one of: %s)", s.Graph.Builder, builderNames())
+	}
+	c.Graph.Builder = strings.ToLower(strings.TrimSpace(s.Graph.Builder))
+	n, verr := info.n(c.Graph)
+	if verr != nil {
+		return Spec{}, verr
+	}
+	if n > MaxAgents {
+		return Spec{}, errf("graph", "network has %d agents, service ceiling is %d", n, MaxAgents)
+	}
+	// Reject graph parameters the builder does not consume, instead of
+	// silently ignoring them: the canonical hash must be injective on
+	// meaning.
+	if err := c.Graph.checkStray(); err != nil {
+		return Spec{}, err
+	}
+	// Materialize builder parameter defaults so "default" and "explicitly
+	// default" specs hash identically.
+	switch c.Graph.Builder {
+	case "geometric":
+		if c.Graph.Radius == 0 {
+			c.Graph.Radius = 0.35
+		}
+	case "random", "randomsym":
+		if c.Graph.Extra == 0 {
+			c.Graph.Extra = n
+		}
+	}
+
+	kind, kindName, verr := parseKind(s.Kind)
+	if verr != nil {
+		return Spec{}, verr
+	}
+	c.Kind = kindName
+
+	row, rowName, verr := parseRow(s.Row)
+	if verr != nil {
+		return Spec{}, verr
+	}
+	c.Row = rowName
+
+	f, verr := lookupFunc(s.Function)
+	if verr != nil {
+		return Spec{}, verr
+	}
+	c.Function = f.Name
+
+	static := info.static && !s.Dynamic
+	if !info.static && !s.Dynamic {
+		// A dynamic builder is always a Table 2 setting; record it.
+		c.Dynamic = true
+	}
+	if kind == model.OutputPortAware && !static {
+		return Spec{}, errf("kind", "output port awareness is only meaningful for static networks")
+	}
+
+	switch row {
+	case core.RowBound:
+		if s.BoundN < n {
+			return Spec{}, errf("bound_n", "row=bound needs bound_n ≥ n (%d), got %d", n, s.BoundN)
+		}
+	case core.RowLeader:
+		if len(s.Leaders) == 0 {
+			return Spec{}, errf("leaders", "row=leader needs at least one leader index")
+		}
+	}
+	if row != core.RowBound && s.BoundN != 0 {
+		return Spec{}, errf("bound_n", "bound_n is only meaningful with row=bound")
+	}
+
+	if len(s.Leaders) > 0 {
+		seen := make(map[int]bool, len(s.Leaders))
+		dedup := make([]int, 0, len(s.Leaders))
+		for _, l := range s.Leaders {
+			if l < 0 || l >= n {
+				return Spec{}, errf("leaders", "leader index %d out of range [0, %d)", l, n)
+			}
+			if !seen[l] {
+				seen[l] = true
+				dedup = append(dedup, l)
+			}
+		}
+		sort.Ints(dedup)
+		c.Leaders = dedup
+	} else {
+		c.Leaders = nil
+	}
+
+	if len(s.Values) == 0 {
+		c.Values = make([]float64, n)
+		for i := range c.Values {
+			c.Values[i] = float64(i + 1)
+		}
+	} else {
+		if len(s.Values) != n {
+			return Spec{}, errf("values", "%d values for %d agents", len(s.Values), n)
+		}
+		for i, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Spec{}, errf("values", "value %d is %v; inputs must be finite", i, v)
+			}
+		}
+		c.Values = append([]float64(nil), s.Values...)
+	}
+
+	if s.MaxRounds < 0 || s.MaxRounds > MaxRoundsCeiling {
+		return Spec{}, errf("max_rounds", "max_rounds %d out of range [0, %d]", s.MaxRounds, MaxRoundsCeiling)
+	}
+	if s.MaxRounds == 0 {
+		c.MaxRounds = 10000
+	}
+	if s.Patience < 0 {
+		return Spec{}, errf("patience", "patience %d must be ≥ 0", s.Patience)
+	}
+	if s.Patience == 0 {
+		// Static cells stabilize within n+D rounds and certify with a
+		// 2N+2 stretch, so 2n+10 suffices. Dynamic cells run asymptotic
+		// Push-Sum variants whose outputs plateau for stretches that
+		// scale with the Theorem 5.2 mixing budget (~n²·D) long before
+		// converging; a linear window fires on those plateaus and
+		// reports a premature fixed point as stable.
+		c.Patience = 2*n + 10
+		if c.Dynamic {
+			c.Patience = n*n + 2*n + 10
+		}
+	}
+
+	if s.Starts != nil {
+		if len(s.Starts) != n {
+			return Spec{}, errf("starts", "%d start rounds for %d agents", len(s.Starts), n)
+		}
+		for i, st := range s.Starts {
+			if st < 1 {
+				return Spec{}, errf("starts", "agent %d has start round %d, want ≥ 1", i, st)
+			}
+		}
+		c.Starts = append([]int(nil), s.Starts...)
+	}
+
+	return c, nil
+}
+
+// checkStray rejects graph parameters that the named builder does not
+// consume, so that two different-looking specs never silently denote the
+// same network (the canonical hash must be injective on meaning).
+func (g GraphSpec) checkStray() *Error {
+	type allowed struct{ n, kd, rc, extra, radius bool }
+	var a allowed
+	switch g.Builder {
+	case "hypercube":
+		a = allowed{kd: true}
+	case "debruijn":
+		a = allowed{kd: true}
+	case "torus":
+		a = allowed{rc: true}
+	case "random", "randomsym":
+		a = allowed{n: true, extra: true}
+	case "geometric":
+		a = allowed{n: true, radius: true}
+	default:
+		a = allowed{n: true}
+	}
+	if !a.n && g.N != 0 {
+		return errf("graph.n", "builder %q does not take n", g.Builder)
+	}
+	if !a.kd && (g.K != 0 || g.D != 0) {
+		return errf("graph.k", "builder %q does not take k/d", g.Builder)
+	}
+	if g.Builder == "hypercube" && g.K != 0 {
+		return errf("graph.k", "builder hypercube does not take k")
+	}
+	if !a.rc && (g.Rows != 0 || g.Cols != 0) {
+		return errf("graph.rows", "builder %q does not take rows/cols", g.Builder)
+	}
+	if !a.extra && g.Extra != 0 {
+		return errf("graph.extra", "builder %q does not take extra", g.Builder)
+	}
+	if !a.radius && g.Radius != 0 {
+		return errf("graph.radius", "builder %q does not take radius", g.Builder)
+	}
+	return nil
+}
+
+// Hash returns the canonical content hash of the spec: the hex SHA-256 of
+// the canonical form's JSON encoding. Specs denoting the same computation
+// hash identically; any semantic difference changes the hash.
+func (s Spec) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", errf("spec", "canonical encoding failed: %v", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Encode returns the spec's JSON encoding (not canonicalized).
+func Encode(s Spec) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, errf("spec", "encoding failed: %v", err)
+	}
+	return b, nil
+}
+
+// Decode parses a JSON spec. Unknown fields are rejected — a service must
+// not silently drop a parameter the client thought it set. All failures
+// are typed *Error values; Decode never panics.
+func Decode(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, errf("json", "%v", err)
+	}
+	// Reject trailing garbage after the object.
+	if dec.More() {
+		return Spec{}, errf("json", "trailing data after spec object")
+	}
+	return s, nil
+}

@@ -1,0 +1,225 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"anonnet/internal/model"
+)
+
+func ringAverageSpec() Spec {
+	return Spec{
+		Graph:    GraphSpec{Builder: "ring", N: 8},
+		Kind:     "od",
+		Function: "average",
+		Values:   []float64{3, 1, 4, 1, 5, 9, 2, 6},
+		Seed:     1,
+	}
+}
+
+func TestCanonicalDefaults(t *testing.T) {
+	s := Spec{Graph: GraphSpec{Builder: "Ring", N: 4}, Kind: "outdegree", Function: "Average"}
+	c, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.Builder != "ring" || c.Kind != "od" || c.Row != "nohelp" || c.Function != "average" {
+		t.Fatalf("normalization failed: %+v", c)
+	}
+	if len(c.Values) != 4 || c.Values[0] != 1 || c.Values[3] != 4 {
+		t.Fatalf("default values not materialized: %v", c.Values)
+	}
+	if c.MaxRounds != 10000 || c.Patience != 2*4+10 {
+		t.Fatalf("default budgets not materialized: max_rounds=%d patience=%d", c.MaxRounds, c.Patience)
+	}
+	// Dynamic settings run asymptotic algorithms that plateau long before
+	// converging; their stabilization window scales quadratically.
+	d := Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average", Dynamic: true}
+	cd, err := d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Patience != 4*4+2*4+10 {
+		t.Fatalf("dynamic patience default: got %d, want %d", cd.Patience, 4*4+2*4+10)
+	}
+	// Canonicalization is idempotent.
+	c2, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err1 := c.Hash()
+	h2, err2 := c2.Hash()
+	if err1 != nil || err2 != nil || h1 != h2 {
+		t.Fatalf("canonical not idempotent: %q vs %q (%v, %v)", h1, h2, err1, err2)
+	}
+}
+
+func TestHashInsensitiveToSpelling(t *testing.T) {
+	a := Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}
+	b := Spec{Graph: GraphSpec{Builder: "RING", N: 4}, Kind: "outdegree", Row: "none",
+		Function: "AVERAGE", Values: []float64{1, 2, 3, 4}, MaxRounds: 10000, Patience: 18}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("equivalent specs hash differently:\n%s\n%s", ha, hb)
+	}
+	// A semantic difference must change the hash.
+	c := a
+	c.Seed = 7
+	hc, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Fatal("seed change did not change the hash")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  Spec
+		field string
+	}{
+		{"unknown builder", Spec{Graph: GraphSpec{Builder: "moebius", N: 4}, Kind: "od", Function: "average"}, "graph.builder"},
+		{"bad size", Spec{Graph: GraphSpec{Builder: "ring"}, Kind: "od", Function: "average"}, "graph.n"},
+		{"too large", Spec{Graph: GraphSpec{Builder: "ring", N: MaxAgents + 1}, Kind: "od", Function: "average"}, "graph"},
+		{"stray param", Spec{Graph: GraphSpec{Builder: "ring", N: 4, K: 2}, Kind: "od", Function: "average"}, "graph.k"},
+		{"bad kind", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "telepathy", Function: "average"}, "kind"},
+		{"bad row", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Row: "oracle", Function: "average"}, "row"},
+		{"bad function", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "entropy"}, "function"},
+		{"bound too small", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Row: "bound", BoundN: 2, Function: "average"}, "bound_n"},
+		{"stray bound", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", BoundN: 9, Function: "average"}, "bound_n"},
+		{"leaderless leader row", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Row: "leader", Function: "average"}, "leaders"},
+		{"leader out of range", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Row: "leader", Leaders: []int{4}, Function: "average"}, "leaders"},
+		{"wrong value count", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average", Values: []float64{1}}, "values"},
+		{"nan value", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average", Values: []float64{1, 2, 3, math.NaN()}}, "values"},
+		{"round ceiling", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average", MaxRounds: MaxRoundsCeiling + 1}, "max_rounds"},
+		{"bad starts", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average", Starts: []int{0, 1, 1, 1}}, "starts"},
+		{"dynamic ports", Spec{Graph: GraphSpec{Builder: "splitring", N: 4}, Kind: "op", Function: "average"}, "kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.spec.Canonical()
+			var verr *Error
+			if !errors.As(err, &verr) {
+				t.Fatalf("want *Error, got %v", err)
+			}
+			if verr.Field != tc.field {
+				t.Fatalf("error field = %q, want %q (%v)", verr.Field, tc.field, verr)
+			}
+		})
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := ringAverageSpec()
+	b, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := s.Hash()
+	h2, err := back.Hash()
+	if err != nil || h1 != h2 {
+		t.Fatalf("round trip changed the hash: %q vs %q (%v)", h1, h2, err)
+	}
+	if _, err := Decode([]byte(`{"graph":{"builder":"ring","n":4},"kind":"od","function":"average","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Decode([]byte(`{"kind":"od"} trailing`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestCompileRunAverageOnRing(t *testing.T) {
+	c, err := Compile(ringAverageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 8 || c.Expected != 3.875 {
+		t.Fatalf("compile: n=%d expected=%v", c.N, c.Expected)
+	}
+	rounds := 0
+	res, err := Run(context.Background(), c, func(round int, outs []model.Value) { rounds++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatalf("not stable: %+v", res)
+	}
+	if rounds != res.Rounds {
+		t.Fatalf("observer saw %d rounds, result says %d", rounds, res.Rounds)
+	}
+	for i, o := range res.Outputs {
+		if math.Abs(float64(o)-3.875) > 1e-9 {
+			t.Fatalf("output %d = %v, want 3.875", i, o)
+		}
+	}
+	if float64(res.MaxErr) > 1e-9 {
+		t.Fatalf("max_err = %v", res.MaxErr)
+	}
+}
+
+func TestRunRespectsContext(t *testing.T) {
+	c, err := Compile(ringAverageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Run(ctx, c, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestCompileRejectsForbiddenCell(t *testing.T) {
+	// Sum is multiset-based; outdegree awareness with no help computes
+	// only frequency-based functions — the dispatcher must refuse.
+	s := ringAverageSpec()
+	s.Function = "sum"
+	if _, err := Compile(s); err == nil {
+		t.Fatal("table-forbidden spec compiled")
+	}
+}
+
+func TestCompileDynamicAndConcurrent(t *testing.T) {
+	s := Spec{
+		Graph:      GraphSpec{Builder: "randomdyn", N: 6},
+		Kind:       "od",
+		Function:   "average",
+		Seed:       3,
+		MaxRounds:  400,
+		Concurrent: true,
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Setting.Static {
+		t.Fatal("randomdyn compiled as static")
+	}
+	if !c.Spec.Dynamic {
+		t.Fatal("canonical form did not record dynamic")
+	}
+	res, err := Run(context.Background(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push-Sum without help converges asymptotically, not exactly.
+	if res.Rounds == 0 {
+		t.Fatalf("no rounds executed: %+v", res)
+	}
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"anonnet/internal/job"
+)
+
+// TestConcurrentSubmissionsDeterministic hammers the pool from many
+// goroutines with a small set of distinct specs (several seeds, both
+// engines) and asserts the service invariant the cache depends on: equal
+// canonical hash ⇒ byte-identical result, whichever worker ran it, cached
+// or fresh. Run under -race (the Makefile and CI do), this also shakes
+// the queue, cache, metrics, and subscription plumbing.
+func TestConcurrentSubmissionsDeterministic(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 256, CacheSize: 2, ProgressEvery: 4})
+	defer s.Close()
+
+	spec := func(seed int64, concurrent bool) job.Spec {
+		return job.Spec{
+			Graph:      job.GraphSpec{Builder: "ring", N: 8},
+			Kind:       "od",
+			Function:   "average",
+			Values:     []float64{2, 7, 1, 8, 2, 8, 1, 8},
+			Seed:       seed,
+			Concurrent: concurrent,
+		}
+	}
+
+	const goroutines = 6
+	const perGoroutine = 8
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				// 4 seeds × 2 engines = 8 distinct hashes, submitted 8×
+				// each overall; the tiny cache forces evictions and
+				// recomputation of evicted hashes.
+				sp := spec(int64(i%4), (g+i)%2 == 0)
+				j, err := s.Submit(sp)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if g%3 == 0 {
+					// Exercise the subscription path concurrently.
+					ch, stop, err := s.Watch(j.ID)
+					if err != nil {
+						t.Errorf("watch: %v", err)
+						return
+					}
+					go func() {
+						for range ch {
+						}
+					}()
+					defer stop()
+				}
+				mu.Lock()
+				ids = append(ids, j.ID)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	byHash := make(map[string]*job.Result)
+	deadline := time.Now().Add(120 * time.Second)
+	for _, id := range ids {
+		var got *Job
+		for {
+			j, err := s.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j.State.Terminal() {
+				got = j
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %q at deadline", id, j.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if got.State != StateDone {
+			t.Fatalf("job %s finished %q (%s)", id, got.State, got.Error)
+		}
+		if ref, ok := byHash[got.Hash]; ok {
+			if !reflect.DeepEqual(ref, got.Result) {
+				t.Fatalf("hash %s produced two different results:\n%+v\n%+v", got.Hash, ref, got.Result)
+			}
+		} else {
+			byHash[got.Hash] = got.Result
+		}
+	}
+	if len(byHash) != 8 {
+		t.Fatalf("expected 8 distinct hashes, got %d", len(byHash))
+	}
+	st := s.Stats()
+	if st.Submitted != goroutines*perGoroutine {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, goroutines*perGoroutine)
+	}
+	if st.Completed+st.CacheHits != st.Submitted || st.Failed != 0 || st.Canceled != 0 {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+}
+
+// TestConcurrentCancelAndSubmit races cancellations against submissions
+// and the drain path; the assertions are the counters' consistency and —
+// under -race — the absence of data races.
+func TestConcurrentCancelAndSubmit(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 64})
+	long := func(seed int64) job.Spec {
+		return job.Spec{
+			Graph:     job.GraphSpec{Builder: "randomdyn", N: 6},
+			Kind:      "od",
+			Function:  "average",
+			Seed:      seed,
+			MaxRounds: 200000,
+			Patience:  200000,
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				j, err := s.Submit(long(int64(g*100 + i)))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if _, err := s.Cancel(j.ID); err != nil {
+					t.Errorf("cancel: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.CancelAll()
+	s.Close()
+	st := s.Stats()
+	if got := st.Completed + st.Failed + st.Canceled; got != st.Submitted {
+		t.Fatalf("terminal count %d != submitted %d (%+v)", got, st.Submitted, st)
+	}
+	for _, j := range s.List() {
+		if !j.State.Terminal() {
+			t.Fatalf("job %s not terminal after Close: %q", j.ID, j.State)
+		}
+	}
+	_ = fmt.Sprint(st)
+}

@@ -1,0 +1,536 @@
+// Package service is the heart of anonnetd: a bounded job queue feeding a
+// worker pool that executes validated job.Specs through the round engines,
+// with per-job deadlines and cancellation, an LRU result cache keyed by
+// the canonical spec hash, round-by-round progress subscriptions, and
+// expvar-mirrored counters. The service is embeddable: cmd/anonnetd wraps
+// it in an HTTP API, tests drive it directly.
+package service
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonnet/internal/job"
+	"anonnet/internal/model"
+)
+
+// Service errors.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity — the caller should retry later (HTTP 429 and 503
+	// territory).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Config tunes a Service. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the pool size (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+	// JobTimeout is the per-job deadline (default 2m; negative disables).
+	JobTimeout time.Duration
+	// ProgressEvery publishes a progress event every k rounds (default 1:
+	// every round).
+	ProgressEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 1
+	}
+	return c
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: queued → running → done | failed | canceled, with
+// queued → canceled possible before a worker picks the job up, and
+// cache-served jobs born done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is a client-facing snapshot of one job.
+type Job struct {
+	ID       string   `json:"id"`
+	Hash     string   `json:"hash"`
+	Spec     job.Spec `json:"spec"`
+	State    State    `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	CacheHit bool     `json:"cache_hit,omitempty"`
+	// Result is set when State is done.
+	Result    *job.Result `json:"result,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+}
+
+// Progress is one event on a job's watch stream: a round-by-round sample
+// while running, then exactly one terminal event (Done=true).
+type Progress struct {
+	JobID   string    `json:"job_id"`
+	State   State     `json:"state"`
+	Round   int       `json:"round,omitempty"`
+	Outputs []job.F64 `json:"outputs,omitempty"`
+	MaxErr  job.F64   `json:"max_err"`
+	Done    bool      `json:"done,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// entry is the service-internal job record. All fields after the
+// immutable header are guarded by Service.mu.
+type entry struct {
+	id       string
+	hash     string
+	compiled *job.Compiled
+
+	state     State
+	err       string
+	cacheHit  bool
+	result    *job.Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // non-nil exactly while running
+	canceled  bool               // cancellation requested while queued
+	subs      map[chan Progress]struct{}
+}
+
+// Stats is a snapshot of the service counters (mirrored to expvar under
+// the "anonnetd" map for /debug/vars).
+type Stats struct {
+	Submitted       int64 `json:"submitted"`
+	Completed       int64 `json:"completed"`
+	Failed          int64 `json:"failed"`
+	Canceled        int64 `json:"canceled"`
+	CacheHits       int64 `json:"cache_hits"`
+	RoundsSimulated int64 `json:"rounds_simulated"`
+	Queued          int   `json:"queued"`
+	Running         int   `json:"running"`
+	CacheEntries    int   `json:"cache_entries"`
+	Workers         int   `json:"workers"`
+}
+
+// Service is the concurrent simulation service.
+type Service struct {
+	cfg Config
+
+	mu     sync.Mutex
+	jobs   map[string]*entry
+	order  []string
+	cache  *lru
+	closed bool
+	nextID int64
+
+	queue chan *entry
+	wg    sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	cacheHits atomic.Int64
+	rounds    atomic.Int64
+	running   atomic.Int64
+}
+
+// Global expvar mirror: one "anonnetd" map shared by every Service in the
+// process (expvar registration is global and must happen once).
+var (
+	expOnce                                                                            sync.Once
+	expSubmitted, expCompleted, expFailed, expCanceled, expHits, expRounds, expRunning *expvar.Int
+)
+
+func publishExpvars() {
+	expOnce.Do(func() {
+		m := expvar.NewMap("anonnetd")
+		reg := func(name string) *expvar.Int {
+			v := new(expvar.Int)
+			m.Set(name, v)
+			return v
+		}
+		expSubmitted = reg("jobs_submitted")
+		expCompleted = reg("jobs_completed")
+		expFailed = reg("jobs_failed")
+		expCanceled = reg("jobs_canceled")
+		expHits = reg("cache_hits")
+		expRounds = reg("rounds_simulated")
+		expRunning = reg("jobs_running")
+	})
+}
+
+// New starts a Service with cfg's worker pool. Callers must Close it.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	publishExpvars()
+	s := &Service{
+		cfg:   cfg,
+		jobs:  make(map[string]*entry),
+		cache: newLRU(cfg.CacheSize),
+		queue: make(chan *entry, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues spec. When an identical computation (same
+// canonical hash) has a cached result, the job is born done with
+// CacheHit set and no work is queued. Returns the job snapshot.
+func (s *Service) Submit(spec job.Spec) (*Job, error) {
+	compiled, err := job.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	e := &entry{
+		id:        fmt.Sprintf("j%06d", s.nextID),
+		hash:      compiled.Hash,
+		compiled:  compiled,
+		state:     StateQueued,
+		submitted: time.Now(),
+		subs:      make(map[chan Progress]struct{}),
+	}
+	if res, ok := s.cache.get(e.hash); ok {
+		e.state = StateDone
+		e.result = res
+		e.cacheHit = true
+		e.finished = time.Now()
+		s.jobs[e.id] = e
+		s.order = append(s.order, e.id)
+		s.submitted.Add(1)
+		expSubmitted.Add(1)
+		s.cacheHits.Add(1)
+		expHits.Add(1)
+		return snapshot(e), nil
+	}
+	select {
+	case s.queue <- e:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.jobs[e.id] = e
+	s.order = append(s.order, e.id)
+	s.submitted.Add(1)
+	expSubmitted.Add(1)
+	return snapshot(e), nil
+}
+
+// Get returns a snapshot of job id.
+func (s *Service) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return snapshot(e), nil
+}
+
+// List returns snapshots of every job in submission order.
+func (s *Service) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, snapshot(s.jobs[id]))
+	}
+	return out
+}
+
+// Cancel requests cancellation of job id: a queued job is marked canceled
+// and will be skipped by the pool; a running job has its context
+// canceled, aborting at the next round boundary. Canceling a terminal job
+// is a no-op.
+func (s *Service) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.cancelLocked(e)
+	return snapshot(e), nil
+}
+
+// cancelLocked cancels one job: a queued job turns terminal immediately
+// (the pool will skip it), a running job gets its context canceled.
+// Callers hold s.mu.
+func (s *Service) cancelLocked(e *entry) {
+	switch e.state {
+	case StateQueued:
+		e.canceled = true
+		e.state = StateCanceled
+		e.finished = time.Now()
+		s.canceled.Add(1)
+		expCanceled.Add(1)
+		s.finishLocked(e)
+	case StateRunning:
+		if e.cancel != nil {
+			e.cancel()
+		}
+	}
+}
+
+// CancelAll cancels every queued and running job (forced-shutdown path)
+// and reports how many jobs it touched.
+func (s *Service) CancelAll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.jobs {
+		if e.state == StateQueued || e.state == StateRunning {
+			s.cancelLocked(e)
+			n++
+		}
+	}
+	return n
+}
+
+// Watch subscribes to job id's progress stream. The returned channel
+// carries round-by-round Progress events and is closed after the terminal
+// event. The returned stop function detaches the subscription (safe to
+// call at any time, including after the channel closed). A terminal job
+// yields its terminal event immediately.
+func (s *Service) Watch(id string) (<-chan Progress, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Progress, 64)
+	if e.state.Terminal() {
+		ch <- terminalEvent(e)
+		close(ch)
+		return ch, func() {}, nil
+	}
+	e.subs[ch] = struct{}{}
+	stop := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, still := e.subs[ch]; still {
+			delete(e.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, stop, nil
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	cacheLen := s.cache.len()
+	queued := len(s.queue)
+	s.mu.Unlock()
+	return Stats{
+		Submitted:       s.submitted.Load(),
+		Completed:       s.completed.Load(),
+		Failed:          s.failed.Load(),
+		Canceled:        s.canceled.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		RoundsSimulated: s.rounds.Load(),
+		Queued:          queued,
+		Running:         int(s.running.Load()),
+		CacheEntries:    cacheLen,
+		Workers:         s.cfg.Workers,
+	}
+}
+
+// Close stops intake and drains: every already-queued job still runs to
+// completion, then the workers exit. Close blocks until the pool is idle
+// and is idempotent. Use CancelAll first for a fast shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker is one pool goroutine: it pops jobs until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for e := range s.queue {
+		s.runOne(e)
+	}
+}
+
+// runOne executes a single job under its deadline, publishing progress
+// and finishing with exactly one terminal event.
+func (s *Service) runOne(e *entry) {
+	s.mu.Lock()
+	if e.canceled {
+		// Canceled while queued: Cancel already made it terminal.
+		s.mu.Unlock()
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	e.cancel = cancel
+	e.state = StateRunning
+	e.started = time.Now()
+	s.mu.Unlock()
+	defer cancel()
+
+	s.running.Add(1)
+	expRunning.Add(1)
+	defer func() {
+		s.running.Add(-1)
+		expRunning.Add(-1)
+	}()
+
+	every := s.cfg.ProgressEvery
+	obs := func(round int, outs []model.Value) {
+		s.rounds.Add(1)
+		expRounds.Add(1)
+		if round%every != 0 {
+			return
+		}
+		outputs, maxErr := job.Numeric(outs, e.compiled.Expected)
+		s.publish(e, Progress{
+			JobID:   e.id,
+			State:   StateRunning,
+			Round:   round,
+			Outputs: outputs,
+			MaxErr:  job.F64(maxErr),
+		})
+	}
+	res, err := job.Run(ctx, e.compiled, obs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.cancel = nil
+	e.finished = time.Now()
+	switch {
+	case err == nil:
+		e.state = StateDone
+		e.result = res
+		s.cache.add(e.hash, res)
+		s.completed.Add(1)
+		expCompleted.Add(1)
+	case errors.Is(err, context.Canceled):
+		e.state = StateCanceled
+		s.canceled.Add(1)
+		expCanceled.Add(1)
+	default:
+		e.state = StateFailed
+		e.err = err.Error()
+		s.failed.Add(1)
+		expFailed.Add(1)
+	}
+	s.finishLocked(e)
+}
+
+// publish fans an event out to e's subscribers, dropping events a slow
+// subscriber has no buffer for (the terminal event is handled by
+// finishLocked and never dropped silently: the channel close itself is
+// the durable signal).
+func (s *Service) publish(e *entry, ev Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range e.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finishLocked sends the terminal event and closes every subscription.
+// Callers hold s.mu.
+func (s *Service) finishLocked(e *entry) {
+	ev := terminalEvent(e)
+	for ch := range e.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+		delete(e.subs, ch)
+	}
+}
+
+func terminalEvent(e *entry) Progress {
+	ev := Progress{JobID: e.id, State: e.state, Done: true, Error: e.err}
+	if e.result != nil {
+		ev.Round = e.result.Rounds
+		ev.Outputs = e.result.Outputs
+		ev.MaxErr = e.result.MaxErr
+	}
+	return ev
+}
+
+// snapshot renders an entry as a client-facing Job. Callers hold s.mu.
+func snapshot(e *entry) *Job {
+	j := &Job{
+		ID:        e.id,
+		Hash:      e.hash,
+		Spec:      e.compiled.Spec,
+		State:     e.state,
+		Error:     e.err,
+		CacheHit:  e.cacheHit,
+		Result:    e.result,
+		Submitted: e.submitted,
+	}
+	if !e.started.IsZero() {
+		t := e.started
+		j.Started = &t
+	}
+	if !e.finished.IsZero() {
+		t := e.finished
+		j.Finished = &t
+	}
+	return j
+}
