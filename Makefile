@@ -1,7 +1,7 @@
 # Tier-1 verification and the race-checked service suite.
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench run-daemon clean
+.PHONY: all build vet test race fuzz bench benchreport run-daemon clean
 
 all: build vet test
 
@@ -24,6 +24,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Regenerates the committed three-engine benchmark record from the same
+# workload as the BenchmarkEngineSharded family.
+benchreport:
+	$(GO) run ./cmd/benchreport -o BENCH_engine.json
 
 run-daemon: build
 	$(GO) run ./cmd/anonnetd -addr :8080

@@ -25,9 +25,18 @@
 //
 //	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
 //	factory, _ := anonnet.NewFactory(anonnet.Average(), setting)
-//	res, _ := anonnet.Compute(factory, anonnet.NewStatic(anonnet.Ring(8)),
-//		anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6), anonnet.ComputeOptions{Kind: setting.Kind})
+//	res, _ := anonnet.Compute(context.Background(), anonnet.Spec{
+//		Factory:  factory,
+//		Schedule: anonnet.NewStatic(anonnet.Ring(8)),
+//		Inputs:   anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6),
+//		Kind:     setting.Kind,
+//	})
 //	fmt.Println(res.Outputs[0]) // 3.875, at every agent
+//
+// Compute takes functional options: WithEngine(Sequential|Concurrent|
+// Sharded) selects the runner (the sharded engine scales to thousands of
+// agents), WithOnRound streams per-round progress, WithPatience /
+// WithMaxRounds tune stabilization detection.
 //
 // The package re-exports the stable surface of the internal packages; the
 // full machinery (fibrations, exact rational solvers, matrix analysis)
@@ -37,6 +46,7 @@ package anonnet
 
 import (
 	"context"
+	"fmt"
 
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
@@ -230,6 +240,9 @@ var (
 	NewEngine = engine.New
 	// NewConcurrentEngine returns the goroutine-per-agent engine.
 	NewConcurrentEngine = engine.NewConcurrent
+	// NewShardedEngine returns the sharded batch engine (shards ≤ 0 means
+	// one per core).
+	NewShardedEngine = engine.NewSharded
 	// RunUntilStable detects exact stabilization (discrete metric).
 	RunUntilStable = engine.RunUntilStable
 	// RunUntilClose detects ε-agreement with a known target.
@@ -258,7 +271,109 @@ func MarkLeaders(in []Input, leaders ...int) []Input {
 	return out
 }
 
-// ComputeOptions tunes Compute.
+// EngineKind selects one of the three round engines behind Compute.
+type EngineKind int
+
+// The three engines. All produce identical traces for equal inputs (the
+// A2 property tests assert it); they differ only in how the rounds are
+// scheduled onto the hardware.
+const (
+	// Sequential is the deterministic single-threaded engine (default).
+	Sequential EngineKind = iota
+	// Concurrent runs one goroutine per agent with a channel barrier.
+	Concurrent
+	// Sharded partitions agents across cores and delivers messages
+	// through preallocated shard-to-shard buffers; the fastest engine for
+	// large n.
+	Sharded
+)
+
+// String names the engine as the job-spec JSON does.
+func (e EngineKind) String() string {
+	switch e {
+	case Sequential:
+		return "seq"
+	case Concurrent:
+		return "conc"
+	case Sharded:
+		return "shard"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(e))
+	}
+}
+
+// Spec bundles what one Compute call executes: the algorithm (as an agent
+// factory), the network, the private inputs, and the communication model.
+type Spec struct {
+	// Factory builds the identical automaton run by every agent.
+	Factory Factory
+	// Schedule is the (static or dynamic) network.
+	Schedule Schedule
+	// Inputs holds one private input per agent.
+	Inputs []Input
+	// Kind is the communication model.
+	Kind Kind
+}
+
+// computeConfig is the option-resolved execution tuning.
+type computeConfig struct {
+	engine    EngineKind
+	shards    int
+	maxRounds int
+	patience  int
+	seed      int64
+	starts    []int
+	onRound   func(round int, outputs []Value)
+}
+
+// Option tunes a Compute call.
+type Option func(*computeConfig)
+
+// WithEngine selects the round engine (default Sequential).
+func WithEngine(e EngineKind) Option {
+	return func(c *computeConfig) { c.engine = e }
+}
+
+// WithShards sets the sharded engine's shard count (default: one per
+// core). It only has an effect together with WithEngine(Sharded).
+func WithShards(k int) Option {
+	return func(c *computeConfig) { c.shards = k }
+}
+
+// WithMaxRounds bounds the execution (default 10000).
+func WithMaxRounds(m int) Option {
+	return func(c *computeConfig) { c.maxRounds = m }
+}
+
+// WithPatience sets the number of unchanged rounds treated as
+// stabilization (default 2·n+10).
+func WithPatience(p int) Option {
+	return func(c *computeConfig) { c.patience = p }
+}
+
+// WithSeed drives delivery-order shuffling (default 0; equal seeds give
+// equal traces).
+func WithSeed(s int64) Option {
+	return func(c *computeConfig) { c.seed = s }
+}
+
+// WithStarts gives per-agent activation rounds ≥ 1 for executions with
+// asynchronous starts (§2.2).
+func WithStarts(starts []int) Option {
+	return func(c *computeConfig) { c.starts = starts }
+}
+
+// WithOnRound installs a per-round observer: after every completed round it
+// receives the round number and the current output vector (round-by-round
+// progress streaming; see engine.Observer).
+func WithOnRound(fn func(round int, outputs []Value)) Option {
+	return func(c *computeConfig) { c.onRound = fn }
+}
+
+// ComputeOptions is the pre-options tuning struct, consumed by the
+// deprecated ComputeCtx wrapper.
+//
+// Deprecated: use Compute with functional options instead.
 type ComputeOptions struct {
 	// Kind is the communication model (required).
 	Kind Kind
@@ -295,47 +410,51 @@ type ComputeResult struct {
 	Rounds int
 }
 
-// Compute runs the factory on the schedule until the outputs stabilize (or
-// the round budget runs out) and returns the result. It is the convenience
-// entry point; use the engine API directly for fine-grained control.
-func Compute(factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
-	return ComputeCtx(context.Background(), factory, schedule, inputs, opts)
-}
-
-// ComputeCtx is Compute with cooperative cancellation: the context is
-// checked at every round boundary, so cancelling it (or letting its
-// deadline pass) aborts the execution with the context's error. This is
-// the entry point used by long-running callers such as the anonnetd
-// simulation service.
-func ComputeCtx(ctx context.Context, factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
-	if opts.MaxRounds <= 0 {
-		opts.MaxRounds = 10000
+// Compute runs spec until the outputs stabilize (or the round budget runs
+// out) and returns the result. The context is checked at every round
+// boundary, so cancelling it (or letting its deadline pass) aborts the
+// execution with the context's error. Options select the engine and tune
+// the harness; the default is the sequential engine with a 10000-round
+// budget and patience 2·n+10. Use the engine API directly for
+// fine-grained round-by-round control.
+func Compute(ctx context.Context, spec Spec, opts ...Option) (*ComputeResult, error) {
+	cc := computeConfig{}
+	for _, o := range opts {
+		o(&cc)
 	}
-	if opts.Patience <= 0 {
-		opts.Patience = 2*len(inputs) + 10
+	if cc.maxRounds <= 0 {
+		cc.maxRounds = 10000
+	}
+	if cc.patience <= 0 {
+		cc.patience = 2*len(spec.Inputs) + 10
 	}
 	cfg := Config{
-		Schedule: schedule,
-		Kind:     opts.Kind,
-		Inputs:   inputs,
-		Factory:  factory,
-		Seed:     opts.Seed,
-		Starts:   opts.Starts,
+		Schedule: spec.Schedule,
+		Kind:     spec.Kind,
+		Inputs:   spec.Inputs,
+		Factory:  spec.Factory,
+		Seed:     cc.seed,
+		Starts:   cc.starts,
 	}
 	var (
 		r   Runner
 		err error
 	)
-	if opts.Concurrent {
-		r, err = engine.NewConcurrent(cfg)
-	} else {
+	switch cc.engine {
+	case Sequential:
 		r, err = engine.New(cfg)
+	case Concurrent:
+		r, err = engine.NewConcurrent(cfg)
+	case Sharded:
+		r, err = engine.NewSharded(cfg, cc.shards)
+	default:
+		return nil, fmt.Errorf("anonnet: unknown engine %v", cc.engine)
 	}
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	res, err := engine.RunUntilStableCtx(ctx, r, model.Discrete, opts.Patience, opts.MaxRounds, engine.Observer(opts.OnRound))
+	res, err := engine.RunUntilStableCtx(ctx, r, model.Discrete, cc.patience, cc.maxRounds, engine.Observer(cc.onRound))
 	if err != nil {
 		return nil, err
 	}
@@ -345,4 +464,22 @@ func ComputeCtx(ctx context.Context, factory Factory, schedule Schedule, inputs 
 		StabilizedAt: res.StabilizedAt,
 		Rounds:       res.Rounds,
 	}, nil
+}
+
+// ComputeCtx is the pre-options entry point, kept as a thin wrapper so
+// existing callers compile unchanged.
+//
+// Deprecated: use Compute with functional options instead.
+func ComputeCtx(ctx context.Context, factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
+	o := []Option{
+		WithMaxRounds(opts.MaxRounds),
+		WithPatience(opts.Patience),
+		WithSeed(opts.Seed),
+		WithStarts(opts.Starts),
+		WithOnRound(opts.OnRound),
+	}
+	if opts.Concurrent {
+		o = append(o, WithEngine(Concurrent))
+	}
+	return Compute(ctx, Spec{Factory: factory, Schedule: schedule, Inputs: inputs, Kind: opts.Kind}, o...)
 }

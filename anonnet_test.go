@@ -1,6 +1,7 @@
 package anonnet_test
 
 import (
+	"context"
 	"testing"
 
 	"anonnet"
@@ -12,8 +13,12 @@ func TestComputeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.Ring(8)),
-		anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6), anonnet.ComputeOptions{Kind: setting.Kind})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: anonnet.NewStatic(anonnet.Ring(8)),
+		Inputs:   anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6),
+		Kind:     setting.Kind,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,28 +32,84 @@ func TestComputeQuickstart(t *testing.T) {
 	}
 }
 
-func TestComputeConcurrentEngine(t *testing.T) {
+func TestComputeEngineOption(t *testing.T) {
 	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
 	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(concurrent bool) *anonnet.ComputeResult {
-		res, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.BidirectionalRing(6)),
-			anonnet.Inputs(1, 2, 3, 4, 5, 6),
-			anonnet.ComputeOptions{Kind: setting.Kind, Concurrent: concurrent, Seed: 42})
+	run := func(opts ...anonnet.Option) *anonnet.ComputeResult {
+		opts = append(opts, anonnet.WithSeed(42))
+		res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+			Factory:  factory,
+			Schedule: anonnet.NewStatic(anonnet.BidirectionalRing(6)),
+			Inputs:   anonnet.Inputs(1, 2, 3, 4, 5, 6),
+			Kind:     setting.Kind,
+		}, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	seq, con := run(false), run(true)
-	if seq.Rounds != con.Rounds || seq.StabilizedAt != con.StabilizedAt {
-		t.Fatalf("engines disagree: seq %+v vs con %+v", seq, con)
+	seq := run(anonnet.WithEngine(anonnet.Sequential))
+	con := run(anonnet.WithEngine(anonnet.Concurrent))
+	shd := run(anonnet.WithEngine(anonnet.Sharded), anonnet.WithShards(3))
+	for _, other := range []*anonnet.ComputeResult{con, shd} {
+		if seq.Rounds != other.Rounds || seq.StabilizedAt != other.StabilizedAt {
+			t.Fatalf("engines disagree: seq %+v vs %+v", seq, other)
+		}
+		for i := range seq.Outputs {
+			if seq.Outputs[i] != other.Outputs[i] {
+				t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], other.Outputs[i])
+			}
+		}
 	}
-	for i := range seq.Outputs {
-		if seq.Outputs[i] != con.Outputs[i] {
-			t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], con.Outputs[i])
+}
+
+func TestComputeCtxDeprecatedWrapper(t *testing.T) {
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := anonnet.ComputeCtx(context.Background(), factory,
+		anonnet.NewStatic(anonnet.Ring(5)), anonnet.Inputs(1, 2, 3, 4, 5),
+		anonnet.ComputeOptions{Kind: setting.Kind, Concurrent: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || res.Outputs[0].(float64) != 3 {
+		t.Fatalf("wrapper result %+v, want stable average 3", res)
+	}
+}
+
+func TestComputeOnRound(t *testing.T) {
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: anonnet.NewStatic(anonnet.Ring(4)),
+		Inputs:   anonnet.Inputs(1, 2, 3, 4),
+		Kind:     setting.Kind,
+	}, anonnet.WithOnRound(func(round int, outputs []anonnet.Value) {
+		rounds = append(rounds, round)
+		if len(outputs) != 4 {
+			t.Errorf("round %d: %d outputs, want 4", round, len(outputs))
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != res.Rounds {
+		t.Fatalf("observer saw %d rounds, engine ran %d", len(rounds), res.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Fatalf("observer rounds %v not consecutive from 1", rounds)
 		}
 	}
 }
@@ -78,8 +139,12 @@ func TestLeaderCountExample(t *testing.T) {
 		t.Fatal(err)
 	}
 	inputs := anonnet.MarkLeaders(anonnet.Inputs(7, 7, 7, 7, 7, 7), 0)
-	res, err := anonnet.Compute(factory, &anonnet.RandomConnected{Vertices: 6, ExtraEdges: 1, Seed: 2},
-		inputs, anonnet.ComputeOptions{Kind: setting.Kind, MaxRounds: 3000, Patience: 200})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: &anonnet.RandomConnected{Vertices: 6, ExtraEdges: 1, Seed: 2},
+		Inputs:   inputs,
+		Kind:     setting.Kind,
+	}, anonnet.WithMaxRounds(3000), anonnet.WithPatience(200))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package anonnet_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -358,10 +359,10 @@ func BenchmarkKernelVariants(b *testing.B) {
 	})
 }
 
-// BenchmarkEngines is the A2 ablation: sequential vs concurrent round
-// engine on the same workload.
+// BenchmarkEngines is the A2 ablation: the three round engines on the same
+// small workload through the public options API.
 func BenchmarkEngines(b *testing.B) {
-	mk := func(concurrent bool) func(*testing.B) {
+	mk := func(eng anonnet.EngineKind) func(*testing.B) {
 		return func(b *testing.B) {
 			setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
 			factory, err := anonnet.NewFactory(anonnet.Average(), setting)
@@ -369,17 +370,80 @@ func BenchmarkEngines(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				_, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.Ring(12)),
-					anonnet.Inputs(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12),
-					anonnet.ComputeOptions{Kind: setting.Kind, Concurrent: concurrent, Seed: int64(i), MaxRounds: 200})
+				_, err := anonnet.Compute(context.Background(), anonnet.Spec{
+					Factory:  factory,
+					Schedule: anonnet.NewStatic(anonnet.Ring(12)),
+					Inputs:   anonnet.Inputs(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12),
+					Kind:     setting.Kind,
+				}, anonnet.WithEngine(eng), anonnet.WithSeed(int64(i)), anonnet.WithMaxRounds(200))
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
 	}
-	b.Run("sequential", mk(false))
-	b.Run("concurrent", mk(true))
+	b.Run("sequential", mk(anonnet.Sequential))
+	b.Run("concurrent", mk(anonnet.Concurrent))
+	b.Run("sharded", mk(anonnet.Sharded))
+}
+
+// shardedBenchRounds is the fixed round budget of the sharded-engine
+// benchmarks: long enough to amortize engine start-up, short enough that a
+// full family stays in benchtime.
+const shardedBenchRounds = 50
+
+// runEngineRounds drives runner construction + a fixed number of rounds,
+// the inner loop of the BenchmarkEngineSharded family.
+func runEngineRounds(b *testing.B, mk func() (engine.Runner, error), rounds int) {
+	b.Helper()
+	r, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	for t := 0; t < rounds; t++ {
+		if err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSharded compares the sharded engine against the sequential
+// and concurrent ones on Push-Sum over rings of growing size. Push-Sum
+// keeps every agent busy every round, so the family isolates the per-round
+// engine overhead: goroutine-per-agent channel hops (concurrent) vs CSR
+// shard delivery (sharded). The committed BENCH_engine.json is generated
+// from this family by cmd/benchreport.
+func BenchmarkEngineSharded(b *testing.B) {
+	engines := []struct {
+		name string
+		mk   func(cfg engine.Config) (engine.Runner, error)
+	}{
+		{"seq", func(cfg engine.Config) (engine.Runner, error) { return engine.New(cfg) }},
+		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
+		{"shard", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 0) }},
+	}
+	for _, n := range []int{16, 64, 256, 1024} {
+		inputs := make([]model.Input, n)
+		for j := range inputs {
+			inputs[j] = model.Input{Value: float64(j % 31)}
+		}
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/n=%d", eng.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := engine.Config{
+						Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
+						Kind:     model.OutdegreeAware,
+						Inputs:   inputs,
+						Factory:  pushsum.NewAverageFactory(),
+						Seed:     int64(i),
+					}
+					runEngineRounds(b, func() (engine.Runner, error) { return eng.mk(cfg) }, shardedBenchRounds)
+				}
+				b.ReportMetric(float64(shardedBenchRounds), "rounds/op")
+			})
+		}
+	}
 }
 
 // BenchmarkGossipFlooding measures the baseline algorithm's cost per round

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -23,16 +24,22 @@ type server struct {
 	start time.Time
 }
 
-// newMux routes the API:
+// newMux routes the API (version 1, under /v1/):
 //
 //	POST   /v1/jobs             submit a job.Spec, 202 (or 200 on cache hit)
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status + result
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /v1/jobs/{id}/stream NDJSON round-by-round progress
+//	POST   /v1/batch            submit a parameter sweep, all-or-nothing
+//	GET    /v1/batch/{id}       batch aggregate status
 //	GET    /v1/stats            service counters
 //	GET    /healthz             liveness
 //	GET    /debug/vars          expvar (includes the anonnetd map)
+//
+// The historical unversioned paths (/jobs…, /stats) answer 301 to their
+// /v1/ form. Errors share one problem-details shape:
+// {"code": ..., "message": ..., "detail": ...}.
 func newMux(svc *service.Service) *http.ServeMux {
 	s := &server{svc: svc, start: time.Now()}
 	mux := http.NewServeMux()
@@ -41,10 +48,26 @@ func newMux(svc *service.Service) *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/batch/{id}", s.handleGetBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	// Pre-versioning clients used the bare paths; point them at /v1/
+	// permanently rather than serving two surfaces.
+	mux.HandleFunc("/jobs", redirectV1)
+	mux.HandleFunc("/jobs/", redirectV1)
+	mux.HandleFunc("/stats", redirectV1)
 	return mux
+}
+
+// redirectV1 301-aliases a pre-versioning path onto its /v1/ home.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	http.Redirect(w, r, target, http.StatusMovedPermanently)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -55,41 +78,71 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// problem is the API's single error shape: a stable machine-readable code,
+// a short human-readable message, and an optional longer detail (for 422
+// table-forbidden specs, the dispatcher's explanation of which table cell
+// refused the function).
+type problem struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+func writeProblem(w http.ResponseWriter, status int, code, message, detail string) {
+	writeJSON(w, status, problem{Code: code, Message: message, Detail: detail})
+}
+
+// writeSubmitError maps a Submit/SubmitBatch error onto the problem shape.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var verr *job.Error
+	switch {
+	case errors.As(err, &verr):
+		writeProblem(w, http.StatusBadRequest, "invalid_spec", err.Error(), "")
+	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeProblem(w, http.StatusTooManyRequests, "queue_full", "job queue at capacity; retry later", "")
+	case errors.Is(err, service.ErrClosed):
+		writeProblem(w, http.StatusServiceUnavailable, "service_closed", "service is shutting down", "")
+	case errors.Is(err, service.ErrEmptyBatch), errors.Is(err, service.ErrBatchTooLarge):
+		writeProblem(w, http.StatusBadRequest, "invalid_batch", err.Error(), "")
+	default:
+		// A well-formed spec the tables forbid (e.g. sum under plain
+		// outdegree awareness): semantically unprocessable. The
+		// dispatcher's citing explanation travels in detail.
+		writeProblem(w, http.StatusUnprocessableEntity, "table_forbidden",
+			"the computability tables forbid this function in this setting", err.Error())
+	}
+}
+
+// readBody reads a bounded JSON request body, writing the problem response
+// itself on failure.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeProblem(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("reading body: %v", err), "")
+		return nil, false
+	}
+	if len(body) > maxSpecBytes {
+		writeProblem(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+			fmt.Sprintf("body exceeds %d bytes", maxSpecBytes), "")
+		return nil, false
+	}
+	return body, true
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
-		return
-	}
-	if len(body) > maxSpecBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+	body, ok := readBody(w, r)
+	if !ok {
 		return
 	}
 	spec, err := job.Decode(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeProblem(w, http.StatusBadRequest, "invalid_spec", err.Error(), "")
 		return
 	}
 	j, err := s.svc.Submit(spec)
 	if err != nil {
-		var verr *job.Error
-		switch {
-		case errors.As(err, &verr):
-			writeError(w, http.StatusBadRequest, "%v", err)
-		case errors.Is(err, service.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, service.ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-		default:
-			// A well-formed spec the tables forbid (e.g. sum under plain
-			// outdegree awareness): semantically unprocessable.
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		}
+		writeSubmitError(w, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -99,6 +152,99 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, j)
 }
 
+// batchRequest is the POST /v1/batch body: either an explicit spec list or
+// a template crossed with a sweep grid (axes n and seeds); exactly one of
+// the two forms.
+type batchRequest struct {
+	Specs    []job.Spec `json:"specs,omitempty"`
+	Template *job.Spec  `json:"template,omitempty"`
+	Grid     *batchGrid `json:"grid,omitempty"`
+}
+
+// batchGrid sweeps a template: the batch is the cross product of the axes,
+// an omitted axis keeping the template's value.
+type batchGrid struct {
+	N     []int   `json:"n,omitempty"`
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// expand materializes the request's spec list.
+func (br *batchRequest) expand() ([]job.Spec, error) {
+	if len(br.Specs) > 0 {
+		if br.Template != nil || br.Grid != nil {
+			return nil, fmt.Errorf("specs and template/grid are mutually exclusive")
+		}
+		return br.Specs, nil
+	}
+	if br.Template == nil {
+		return nil, fmt.Errorf("batch needs specs or a template")
+	}
+	ns := br.Grid.axisN(br.Template.Graph.N)
+	seeds := br.Grid.axisSeeds(br.Template.Seed)
+	specs := make([]job.Spec, 0, len(ns)*len(seeds))
+	for _, n := range ns {
+		for _, seed := range seeds {
+			sp := *br.Template
+			sp.Graph.N = n
+			sp.Seed = seed
+			specs = append(specs, sp)
+		}
+	}
+	return specs, nil
+}
+
+func (g *batchGrid) axisN(fallback int) []int {
+	if g == nil || len(g.N) == 0 {
+		return []int{fallback}
+	}
+	return g.N
+}
+
+func (g *batchGrid) axisSeeds(fallback int64) []int64 {
+	if g == nil || len(g.Seeds) == 0 {
+		return []int64{fallback}
+	}
+	return g.Seeds
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var br batchRequest
+	if err := dec.Decode(&br); err != nil {
+		writeProblem(w, http.StatusBadRequest, "invalid_batch", err.Error(), "")
+		return
+	}
+	specs, err := br.expand()
+	if err != nil {
+		writeProblem(w, http.StatusBadRequest, "invalid_batch", err.Error(), "")
+		return
+	}
+	b, err := s.svc.SubmitBatch(specs)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if b.Done == len(b.Jobs) {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, b)
+}
+
+func (s *server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
+	b, err := s.svc.GetBatch(r.PathValue("id"))
+	if err != nil {
+		writeProblem(w, http.StatusNotFound, "not_found", err.Error(), "")
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.svc.List()})
 }
@@ -106,7 +252,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, err := s.svc.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeProblem(w, http.StatusNotFound, "not_found", err.Error(), "")
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
@@ -115,7 +261,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, err := s.svc.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeProblem(w, http.StatusNotFound, "not_found", err.Error(), "")
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
@@ -123,11 +269,15 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleStream serves NDJSON: one service.Progress object per line,
 // round-by-round while the job runs, ending with the terminal event (or
-// earlier if the client goes away).
+// earlier if the client goes away). The watch channel may drop events a
+// slow reader had no buffer for — the terminal event included — so a
+// channel close without a Done line synthesizes one from the job snapshot:
+// the stream's last line always reports the outcome.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
-	ch, stop, err := s.svc.Watch(r.PathValue("id"))
+	id := r.PathValue("id")
+	ch, stop, err := s.svc.Watch(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeProblem(w, http.StatusNotFound, "not_found", err.Error(), "")
 		return
 	}
 	defer stop()
@@ -136,19 +286,25 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	emit := func(ev service.Progress) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
 	for {
 		select {
 		case ev, ok := <-ch:
 			if !ok {
+				if j, err := s.svc.Get(id); err == nil && j.State.Terminal() {
+					emit(service.TerminalProgress(j))
+				}
 				return
 			}
-			if err := enc.Encode(ev); err != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-			if ev.Done {
+			if !emit(ev) || ev.Done {
 				return
 			}
 		case <-r.Context().Done():

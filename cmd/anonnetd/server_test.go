@@ -205,19 +205,33 @@ func TestEndToEndErrors(t *testing.T) {
 	cases := []struct {
 		body string
 		want int
+		code string
 	}{
-		{`not json`, http.StatusBadRequest},
-		{`{"graph":{"builder":"klein","n":4},"kind":"od","function":"average"}`, http.StatusBadRequest},
-		{`{"graph":{"builder":"ring","n":8},"kind":"od","function":"sum"}`, http.StatusUnprocessableEntity},
+		{`not json`, http.StatusBadRequest, "invalid_spec"},
+		{`{"graph":{"builder":"klein","n":4},"kind":"od","function":"average"}`, http.StatusBadRequest, "invalid_spec"},
+		{`{"graph":{"builder":"ring","n":8},"kind":"od","function":"sum"}`, http.StatusUnprocessableEntity, "table_forbidden"},
+		{`{"schema_version":7,"graph":{"builder":"ring","n":8},"kind":"od","function":"average"}`, http.StatusBadRequest, "invalid_spec"},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {
 			t.Fatal(err)
 		}
+		var p struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Detail  string `json:"detail"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&p)
 		resp.Body.Close()
 		if resp.StatusCode != tc.want {
 			t.Fatalf("POST %q → %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+		if decErr != nil || p.Code != tc.code || p.Message == "" {
+			t.Fatalf("POST %q → problem %+v (decode %v), want code %q", tc.body, p, decErr, tc.code)
+		}
+		if tc.code == "table_forbidden" && p.Detail == "" {
+			t.Fatal("422 problem lacks the dispatcher explanation in detail")
 		}
 	}
 	if resp, err := http.Get(ts.URL + "/v1/jobs/j999999"); err != nil {
@@ -248,5 +262,121 @@ func TestEndToEndErrors(t *testing.T) {
 		if _, ok := vars["anonnetd"]; !ok {
 			t.Fatalf("expvar map missing anonnetd key: %v", fmt.Sprint(vars)[:min(200, len(fmt.Sprint(vars)))])
 		}
+	}
+}
+
+// TestEndToEndBatch covers the sweep endpoint: template×grid expansion,
+// aggregate polling, all-or-nothing rejection, and the sharded engine
+// running inside the pool.
+func TestEndToEndBatch(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+	body := `{
+	  "template": {
+	    "schema_version": 2,
+	    "graph": {"builder": "ring", "n": 8},
+	    "kind": "od", "function": "average", "engine": "shard"
+	  },
+	  "grid": {"n": [8, 12], "seeds": [1, 2, 3]}
+	}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b service.Batch
+	decErr := json.NewDecoder(resp.Body).Decode(&b)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decErr != nil {
+		t.Fatalf("POST /v1/batch → %d (%v)", resp.StatusCode, decErr)
+	}
+	if len(b.Jobs) != 6 {
+		t.Fatalf("grid expanded to %d jobs, want 6 (2 sizes × 3 seeds)", len(b.Jobs))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/batch/" + b.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got service.Batch
+		decErr := json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			t.Fatalf("GET /v1/batch/%s → %d (%v)", b.ID, resp.StatusCode, decErr)
+		}
+		if got.Done == len(got.Jobs) {
+			if got.Failed != 0 {
+				t.Fatalf("batch failed: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never finished: %d/%d", got.Done, len(got.Jobs))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// One bad member rejects the whole batch.
+	bad := `{"specs": [
+	  {"graph": {"builder": "ring", "n": 8}, "kind": "od", "function": "average"},
+	  {"graph": {"builder": "klein", "n": 8}, "kind": "od", "function": "average"}
+	]}`
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p struct {
+		Code string `json:"code"`
+	}
+	decErr = json.NewDecoder(resp.Body).Decode(&p)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || decErr != nil || p.Code != "invalid_spec" {
+		t.Fatalf("bad batch → %d code %q (%v)", resp.StatusCode, p.Code, decErr)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/batch/b9999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown batch → %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestUnversionedAliases pins the pre-versioning paths to 301 redirects
+// onto /v1/, query string preserved.
+func TestUnversionedAliases(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	cases := []struct{ path, want string }{
+		{"/jobs", "/v1/jobs"},
+		{"/jobs/j000001", "/v1/jobs/j000001"},
+		{"/jobs/j000001/stream", "/v1/jobs/j000001/stream"},
+		{"/stats", "/v1/stats"},
+		{"/jobs?x=1", "/v1/jobs?x=1"},
+	}
+	for _, tc := range cases {
+		resp, err := client.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMovedPermanently {
+			t.Fatalf("GET %s → %d, want 301", tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.want {
+			t.Fatalf("GET %s → Location %q, want %q", tc.path, loc, tc.want)
+		}
+	}
+	// The redirect survives a follow: /stats lands on real counters.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats service.Stats
+	decErr := json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		t.Fatalf("followed /stats → %d (%v)", resp.StatusCode, decErr)
 	}
 }

@@ -1,0 +1,162 @@
+// Command benchreport regenerates BENCH_engine.json, the committed record
+// of the three-engine Push-Sum benchmark (the same workload as the
+// BenchmarkEngineSharded family in bench_test.go): 50 rounds of Push-Sum
+// average on a bidirectional ring, for each engine (sequential, concurrent,
+// sharded) at each size n ∈ {16, 64, 256, 1024}. Timings come from
+// testing.Benchmark, so iteration counts auto-scale to the benchtime.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-o BENCH_engine.json] [-benchtime 1s]
+//
+// The report also derives shard-vs-concurrent and shard-vs-sequential
+// speedups per size; the headline number is the n=256 shard/conc ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"anonnet/internal/algorithms/pushsum"
+	"anonnet/internal/dynamic"
+	"anonnet/internal/engine"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+// benchRounds mirrors shardedBenchRounds in bench_test.go so the committed
+// numbers and the `go test -bench=EngineSharded` numbers are comparable.
+const benchRounds = 50
+
+type measurement struct {
+	Engine     string  `json:"engine"`
+	N          int     `json:"n"`
+	Rounds     int     `json:"rounds"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MsPerOp    float64 `json:"ms_per_op"`
+}
+
+type speedup struct {
+	N          int     `json:"n"`
+	ShardVsSeq float64 `json:"shard_vs_seq"`
+	ShardVsCon float64 `json:"shard_vs_conc"`
+}
+
+type report struct {
+	Workload     string        `json:"workload"`
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	GeneratedAt  string        `json:"generated_at"`
+	Benchtime    string        `json:"benchtime"`
+	Measurements []measurement `json:"measurements"`
+	Speedups     []speedup     `json:"speedups"`
+}
+
+func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) testing.BenchmarkResult {
+	inputs := make([]model.Input, n)
+	for j := range inputs {
+		inputs[j] = model.Input{Value: float64(j % 31)}
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := mk(engine.Config{
+				Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
+				Kind:     model.OutdegreeAware,
+				Inputs:   inputs,
+				Factory:  pushsum.NewAverageFactory(),
+				Seed:     int64(i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for t := 0; t < benchRounds; t++ {
+				if err := r.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r.Close()
+		}
+	})
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output path for the JSON report")
+	benchtime := flag.String("benchtime", "1s", "per-case benchtime (testing -benchtime syntax)")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	engines := []struct {
+		name string
+		mk   func(engine.Config) (engine.Runner, error)
+	}{
+		{"seq", func(cfg engine.Config) (engine.Runner, error) { return engine.New(cfg) }},
+		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
+		{"shard", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 0) }},
+	}
+	sizes := []int{16, 64, 256, 1024}
+
+	rep := report{
+		Workload:    fmt.Sprintf("pushsum average, bidirectional ring, %d rounds, outdegree-aware", benchRounds),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Benchtime:   *benchtime,
+	}
+	perOp := map[string]map[int]int64{}
+	for _, eng := range engines {
+		perOp[eng.name] = map[int]int64{}
+		for _, n := range sizes {
+			res := benchOnce(eng.mk, n)
+			ns := res.NsPerOp()
+			perOp[eng.name][n] = ns
+			rep.Measurements = append(rep.Measurements, measurement{
+				Engine:     eng.name,
+				N:          n,
+				Rounds:     benchRounds,
+				Iterations: res.N,
+				NsPerOp:    ns,
+				MsPerOp:    float64(ns) / 1e6,
+			})
+			fmt.Fprintf(os.Stderr, "%-5s n=%-5d %10d ns/op  (%d iters)\n", eng.name, n, ns, res.N)
+		}
+	}
+	for _, n := range sizes {
+		rep.Speedups = append(rep.Speedups, speedup{
+			N:          n,
+			ShardVsSeq: ratio(perOp["seq"][n], perOp["shard"][n]),
+			ShardVsCon: ratio(perOp["conc"][n], perOp["shard"][n]),
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// ratio returns base/target rounded to two decimals (how many times faster
+// target is than base).
+func ratio(base, target int64) float64 {
+	if target == 0 {
+		return 0
+	}
+	return math.Round(float64(base)/float64(target)*100) / 100
+}

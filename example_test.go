@@ -1,6 +1,7 @@
 package anonnet_test
 
 import (
+	"context"
 	"fmt"
 
 	"anonnet"
@@ -14,8 +15,12 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.Ring(8)),
-		anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6), anonnet.ComputeOptions{Kind: setting.Kind})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: anonnet.NewStatic(anonnet.Ring(8)),
+		Inputs:   anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6),
+		Kind:     setting.Kind,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -60,8 +65,12 @@ func ExampleCompute_leaderCounting() {
 		panic(err)
 	}
 	inputs := anonnet.MarkLeaders(anonnet.Inputs(7, 7, 7, 7, 7), 2)
-	res, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.BidirectionalRing(5)),
-		inputs, anonnet.ComputeOptions{Kind: setting.Kind})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: anonnet.NewStatic(anonnet.BidirectionalRing(5)),
+		Inputs:   inputs,
+		Kind:     setting.Kind,
+	})
 	if err != nil {
 		panic(err)
 	}

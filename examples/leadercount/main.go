@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,8 +26,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := anonnet.Compute(factory, anonnet.NewStatic(anonnet.BidirectionalRing(n)),
-			inputs, anonnet.ComputeOptions{Kind: static.Kind})
+		res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+			Factory:  factory,
+			Schedule: anonnet.NewStatic(anonnet.BidirectionalRing(n)),
+			Inputs:   inputs,
+			Kind:     static.Kind,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,8 +46,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := anonnet.Compute(factory, &anonnet.RandomConnected{Vertices: n, ExtraEdges: 1, Seed: 5},
-		inputs, anonnet.ComputeOptions{Kind: dyn.Kind, MaxRounds: 20000, Patience: 400})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: &anonnet.RandomConnected{Vertices: n, ExtraEdges: 1, Seed: 5},
+		Inputs:   inputs,
+		Kind:     dyn.Kind,
+	}, anonnet.WithMaxRounds(20000), anonnet.WithPatience(400))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,8 +32,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := anonnet.Compute(factory, world, anonnet.Inputs(opinions...),
-		anonnet.ComputeOptions{Kind: setting.Kind, MaxRounds: 20000, Patience: 500})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: world,
+		Inputs:   anonnet.Inputs(opinions...),
+		Kind:     setting.Kind,
+	}, anonnet.WithMaxRounds(20000), anonnet.WithPatience(500))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,8 +51,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, err := anonnet.Compute(factory2, world, anonnet.Inputs(opinions...),
-		anonnet.ComputeOptions{Kind: open.Kind, MaxRounds: 20000, Patience: 500})
+	res2, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory2,
+		Schedule: world,
+		Inputs:   anonnet.Inputs(opinions...),
+		Kind:     open.Kind,
+	}, anonnet.WithMaxRounds(20000), anonnet.WithPatience(500))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -42,8 +43,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := anonnet.Compute(factory, meetings, anonnet.Inputs(markers...),
-		anonnet.ComputeOptions{Kind: open.Kind, MaxRounds: 60000, Patience: 2000})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: meetings,
+		Inputs:   anonnet.Inputs(markers...),
+		Kind:     open.Kind,
+	}, anonnet.WithMaxRounds(60000), anonnet.WithPatience(2000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,8 +61,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, err := anonnet.Compute(factory2, meetings, anonnet.Inputs(markers...),
-		anonnet.ComputeOptions{Kind: bounded.Kind, MaxRounds: 60000, Patience: 2000})
+	res2, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory2,
+		Schedule: meetings,
+		Inputs:   anonnet.Inputs(markers...),
+		Kind:     bounded.Kind,
+	}, anonnet.WithMaxRounds(60000), anonnet.WithPatience(2000))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,10 +31,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := anonnet.Compute(factory,
-		anonnet.NewStatic(anonnet.Ring(8)),
-		anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6),
-		anonnet.ComputeOptions{Kind: setting.Kind})
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: anonnet.NewStatic(anonnet.Ring(8)),
+		Inputs:   anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6),
+		Kind:     setting.Kind,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,10 +3,11 @@
 // sending function, the communication graph 𝔾(t) routes the messages, and
 // every agent applies its transition function to the received multiset.
 //
-// Two interchangeable runners implement the semantics: a deterministic
-// sequential engine and a concurrent engine with one goroutine per agent.
-// A property test asserts they produce identical traces for deterministic
-// agents.
+// Three interchangeable runners implement the semantics: a deterministic
+// sequential engine, a concurrent engine with one goroutine per agent, and
+// a sharded batch engine that partitions the agents across cores and
+// delivers messages through a flattened CSR adjacency. Property tests
+// assert all three produce identical traces for deterministic agents.
 package engine
 
 import (
@@ -63,7 +64,8 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// Runner is the common interface of the sequential and concurrent engines.
+// Runner is the common interface of the sequential, concurrent, and
+// sharded engines.
 type Runner interface {
 	// Step executes one round.
 	Step() error

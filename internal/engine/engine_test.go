@@ -282,6 +282,10 @@ func TestSequentialConcurrentTraceEquality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		shd, err := NewSharded(cfg, 1+trial%4) // vary the shard count per trial
+		if err != nil {
+			t.Fatal(err)
+		}
 		for r := 0; r < 8; r++ {
 			if err := seq.Step(); err != nil {
 				t.Fatal(err)
@@ -289,14 +293,21 @@ func TestSequentialConcurrentTraceEquality(t *testing.T) {
 			if err := con.Step(); err != nil {
 				t.Fatal(err)
 			}
+			if err := shd.Step(); err != nil {
+				t.Fatal(err)
+			}
 		}
-		so, co := seq.Outputs(), con.Outputs()
+		so, co, ho := seq.Outputs(), con.Outputs(), shd.Outputs()
 		for i := range so {
 			if so[i] != co[i] {
 				t.Fatalf("trial %d: traces diverge at agent %d:\nseq: %v\ncon: %v", trial, i, so[i], co[i])
 			}
+			if so[i] != ho[i] {
+				t.Fatalf("trial %d: traces diverge at agent %d:\nseq: %v\nshd: %v", trial, i, so[i], ho[i])
+			}
 		}
 		con.Close()
+		shd.Close()
 	}
 }
 

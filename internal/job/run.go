@@ -167,8 +167,8 @@ type Result struct {
 // Run executes the compiled job to stabilization (or budget exhaustion)
 // under ctx, reporting each round to obs when non-nil. A context
 // cancellation or deadline aborts at the next round boundary and surfaces
-// the context's error. Equal compiled jobs produce equal results: both
-// engines are deterministic in the spec's seed.
+// the context's error. Equal compiled jobs produce equal results: all
+// three engines are deterministic in the spec's seed.
 func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error) {
 	cfg := engine.Config{
 		Schedule: c.Schedule,
@@ -182,9 +182,12 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 		r   engine.Runner
 		err error
 	)
-	if c.Spec.Concurrent {
+	switch {
+	case c.Spec.Concurrent:
 		r, err = engine.NewConcurrent(cfg)
-	} else {
+	case c.Spec.Engine == "shard":
+		r, err = engine.NewSharded(cfg, c.Spec.Shards)
+	default:
 		r, err = engine.New(cfg)
 	}
 	if err != nil {

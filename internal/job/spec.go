@@ -73,9 +73,19 @@ type GraphSpec struct {
 	Radius float64 `json:"radius,omitempty"`
 }
 
+// SpecSchemaVersion is the current job-spec schema version. Version 1 is
+// the original unversioned shape; version 2 adds the engine/shards
+// selectors. Specs omitting schema_version are version 1.
+const SpecSchemaVersion = 2
+
 // Spec is one simulation job. The zero value is invalid; Canonical
 // validates and normalizes.
 type Spec struct {
+	// SchemaVersion is the spec schema version: 0 (meaning 1) or a value
+	// up to SpecSchemaVersion. It is normalized out of the canonical form
+	// so that version-1 specs hash identically whether or not they state
+	// their version — cache keys from before versioning stay valid.
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// Graph names the network.
 	Graph GraphSpec `json:"graph"`
 	// Kind is the communication model: bc, od, op, or sym (anonsim's
@@ -105,7 +115,18 @@ type Spec struct {
 	// Dynamic forces Table 2 treatment even on a static builder.
 	Dynamic bool `json:"dynamic,omitempty"`
 	// Concurrent selects the goroutine-per-agent engine.
+	//
+	// Deprecated: use Engine instead. Kept because it participates in the
+	// version-1 canonical hash.
 	Concurrent bool `json:"concurrent,omitempty"`
+	// Engine selects the round engine by name: "" or "seq" (sequential,
+	// the default), "conc" (goroutine per agent), or "shard" (sharded
+	// batch engine). "seq" is normalized to "" so version-1 specs hash
+	// identically. Mutually exclusive with Concurrent.
+	Engine string `json:"engine,omitempty"`
+	// Shards is the sharded engine's shard count (engine=shard only);
+	// 0 means one shard per core.
+	Shards int `json:"shards,omitempty"`
 	// Starts optionally gives per-agent activation rounds ≥ 1
 	// (asynchronous starts).
 	Starts []int `json:"starts,omitempty"`
@@ -265,6 +286,43 @@ func lookupFunc(name string) (funcs.Func, *Error) {
 // The input is not modified.
 func (s Spec) Canonical() (Spec, error) {
 	c := s
+
+	// Schema versioning: 0 means version 1 (the original unversioned
+	// shape). The version is normalized out of the canonical form so that
+	// stating it does not change the hash — cache keys predating
+	// versioning stay valid.
+	if s.SchemaVersion < 0 || s.SchemaVersion > SpecSchemaVersion {
+		return Spec{}, errf("schema_version", "unsupported schema version %d (this build speaks 1..%d)", s.SchemaVersion, SpecSchemaVersion)
+	}
+	if s.SchemaVersion == 1 && (s.Engine != "" || s.Shards != 0) {
+		return Spec{}, errf("engine", "engine/shards need schema_version ≥ 2")
+	}
+	c.SchemaVersion = 0
+
+	// Engine selection. "conc" folds into the version-1 Concurrent flag
+	// and "seq" into its absence, so a version-2 spec naming the engine
+	// hashes — and caches — identically to the version-1 spec meaning the
+	// same thing.
+	if s.Concurrent && strings.TrimSpace(s.Engine) != "" {
+		return Spec{}, errf("engine", "engine and concurrent are mutually exclusive; drop concurrent")
+	}
+	switch strings.ToLower(strings.TrimSpace(s.Engine)) {
+	case "", "seq", "sequential":
+		c.Engine = ""
+	case "conc", "concurrent":
+		c.Engine = ""
+		c.Concurrent = true
+	case "shard", "sharded":
+		c.Engine = "shard"
+	default:
+		return Spec{}, errf("engine", "unknown engine %q (want seq, conc, or shard)", s.Engine)
+	}
+	if s.Shards != 0 && c.Engine != "shard" {
+		return Spec{}, errf("shards", "shards is only meaningful with engine=shard")
+	}
+	if s.Shards < 0 || s.Shards > MaxAgents {
+		return Spec{}, errf("shards", "shards %d out of range [0, %d]", s.Shards, MaxAgents)
+	}
 
 	info, ok := builders[strings.ToLower(strings.TrimSpace(s.Graph.Builder))]
 	if !ok {

@@ -83,6 +83,91 @@ func TestHashInsensitiveToSpelling(t *testing.T) {
 	}
 }
 
+// TestSchemaVersionHashCompat pins the versioning contract: stating
+// schema_version (1 or 2) or naming the default engines explicitly must
+// not change the canonical hash, so cache keys minted before versioning
+// stay valid.
+func TestSchemaVersionHashCompat(t *testing.T) {
+	base := ringAverageSpec()
+	ref, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []Spec{
+		func() Spec { s := base; s.SchemaVersion = 1; return s }(),
+		func() Spec { s := base; s.SchemaVersion = 2; return s }(),
+		func() Spec { s := base; s.SchemaVersion = 2; s.Engine = "seq"; return s }(),
+		func() Spec { s := base; s.Engine = "sequential"; return s }(),
+	}
+	for i, s := range same {
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if h != ref {
+			t.Fatalf("variant %d hashes %q, want the version-1 hash %q", i, h, ref)
+		}
+	}
+	// engine=conc folds into the version-1 concurrent flag: the v2
+	// spelling and the v1 spelling share one cache entry.
+	v1 := base
+	v1.Concurrent = true
+	v2 := base
+	v2.SchemaVersion = 2
+	v2.Engine = "conc"
+	h1, err1 := v1.Hash()
+	h2, err2 := v2.Hash()
+	if err1 != nil || err2 != nil || h1 != h2 {
+		t.Fatalf("engine=conc (%q) does not hash like concurrent=true (%q): %v %v", h2, h1, err1, err2)
+	}
+	if h1 == ref {
+		t.Fatal("concurrent flag must change the hash (it always did)")
+	}
+	// The sharded engine is new semantics, hence a new hash.
+	sh := base
+	sh.Engine = "shard"
+	hs, err := sh.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs == ref || hs == h1 {
+		t.Fatal("engine=shard must hash distinctly")
+	}
+}
+
+func TestCompileShardedEngine(t *testing.T) {
+	s := ringAverageSpec()
+	s.Engine = "shard"
+	s.Shards = 3
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec.Engine != "shard" || c.Spec.Shards != 3 {
+		t.Fatalf("canonical engine fields: %+v", c.Spec)
+	}
+	res, err := Run(context.Background(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatalf("sharded run not stable: %+v", res)
+	}
+	// Same spec through the sequential engine gives the same trace, so the
+	// results agree exactly.
+	seq, err := Compile(ringAverageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(context.Background(), seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != ref.Rounds || res.StabilizedAt != ref.StabilizedAt {
+		t.Fatalf("sharded %+v diverges from sequential %+v", res, ref)
+	}
+}
+
 func TestValidationErrors(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -105,6 +190,12 @@ func TestValidationErrors(t *testing.T) {
 		{"round ceiling", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average", MaxRounds: MaxRoundsCeiling + 1}, "max_rounds"},
 		{"bad starts", Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average", Starts: []int{0, 1, 1, 1}}, "starts"},
 		{"dynamic ports", Spec{Graph: GraphSpec{Builder: "splitring", N: 4}, Kind: "op", Function: "average"}, "kind"},
+		{"future schema", Spec{SchemaVersion: 3, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "schema_version"},
+		{"v1 with engine", Spec{SchemaVersion: 1, Engine: "shard", Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "engine"},
+		{"unknown engine", Spec{Engine: "quantum", Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "engine"},
+		{"engine and concurrent", Spec{Engine: "shard", Concurrent: true, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "engine"},
+		{"stray shards", Spec{Shards: 2, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
+		{"shards out of range", Spec{Engine: "shard", Shards: MaxAgents + 1, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

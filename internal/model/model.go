@@ -62,7 +62,9 @@ func (k Kind) Valid() bool { return k >= SimpleBroadcast && k <= Symmetric }
 type Agent interface {
 	// Receive applies the transition function to the multiset of messages
 	// received this round. It is called exactly once per round, after the
-	// round's sends.
+	// round's sends. The slice is owned by the engine and may be reused
+	// for later rounds; an agent must copy anything it wants to retain
+	// (the Message values themselves are immutable and safe to keep).
 	Receive(msgs []Message)
 	// Output returns the current output value x_i.
 	Output() Value

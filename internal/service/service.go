@@ -30,7 +30,16 @@ var (
 	ErrQueueFull = errors.New("service: queue full")
 	// ErrNotFound is returned for unknown job IDs.
 	ErrNotFound = errors.New("service: no such job")
+	// ErrEmptyBatch is returned by SubmitBatch for a batch with no specs.
+	ErrEmptyBatch = errors.New("service: empty batch")
+	// ErrBatchTooLarge is returned by SubmitBatch for a batch over
+	// MaxBatchSize specs.
+	ErrBatchTooLarge = errors.New("service: batch too large")
 )
+
+// MaxBatchSize bounds the number of specs in one SubmitBatch call — a
+// batch must not be able to claim the whole default queue.
+const MaxBatchSize = 64
 
 // Config tunes a Service. The zero value selects sensible defaults.
 type Config struct {
@@ -152,12 +161,14 @@ type Stats struct {
 type Service struct {
 	cfg Config
 
-	mu     sync.Mutex
-	jobs   map[string]*entry
-	order  []string
-	cache  *lru
-	closed bool
-	nextID int64
+	mu        sync.Mutex
+	jobs      map[string]*entry
+	order     []string
+	batches   map[string][]string
+	cache     *lru
+	closed    bool
+	nextID    int64
+	nextBatch int64
 
 	queue chan *entry
 	wg    sync.WaitGroup
@@ -201,10 +212,11 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	publishExpvars()
 	s := &Service{
-		cfg:   cfg,
-		jobs:  make(map[string]*entry),
-		cache: newLRU(cfg.CacheSize),
-		queue: make(chan *entry, cfg.QueueDepth),
+		cfg:     cfg,
+		jobs:    make(map[string]*entry),
+		batches: make(map[string][]string),
+		cache:   newLRU(cfg.CacheSize),
+		queue:   make(chan *entry, cfg.QueueDepth),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -226,6 +238,17 @@ func (s *Service) Submit(spec job.Spec) (*Job, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	e, err := s.submitLocked(compiled)
+	if err != nil {
+		return nil, err
+	}
+	return snapshot(e), nil
+}
+
+// submitLocked registers one compiled job: cache-served jobs are born
+// done, everything else is pushed onto the bounded queue (ErrQueueFull
+// when at capacity). Callers hold s.mu.
+func (s *Service) submitLocked(compiled *job.Compiled) (*entry, error) {
 	s.nextID++
 	e := &entry{
 		id:        fmt.Sprintf("j%06d", s.nextID),
@@ -246,18 +269,115 @@ func (s *Service) Submit(spec job.Spec) (*Job, error) {
 		expSubmitted.Add(1)
 		s.cacheHits.Add(1)
 		expHits.Add(1)
-		return snapshot(e), nil
+		return e, nil
 	}
 	select {
 	case s.queue <- e:
 	default:
+		s.nextID--
 		return nil, ErrQueueFull
 	}
 	s.jobs[e.id] = e
 	s.order = append(s.order, e.id)
 	s.submitted.Add(1)
 	expSubmitted.Add(1)
-	return snapshot(e), nil
+	return e, nil
+}
+
+// Batch is a client-facing snapshot of one batch submission: the member
+// jobs in submission order plus aggregate progress.
+type Batch struct {
+	ID   string `json:"id"`
+	Jobs []*Job `json:"jobs"`
+	// Done counts member jobs in a terminal state; the batch is finished
+	// when Done == len(Jobs).
+	Done int `json:"done"`
+	// Failed counts member jobs that failed or were canceled.
+	Failed int `json:"failed"`
+	// CacheHits counts member jobs served from the result cache.
+	CacheHits int `json:"cache_hits"`
+}
+
+// SubmitBatch validates and enqueues a parameter sweep as one batch,
+// all-or-nothing: if any spec fails validation, or the queue lacks room
+// for every job that is not a cache hit, nothing is enqueued. The member
+// jobs are ordinary jobs (Get/Cancel/Watch work on them individually);
+// GetBatch aggregates them.
+func (s *Service) SubmitBatch(specs []job.Spec) (*Batch, error) {
+	if len(specs) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(specs) > MaxBatchSize {
+		return nil, fmt.Errorf("%w: %d specs, ceiling is %d", ErrBatchTooLarge, len(specs), MaxBatchSize)
+	}
+	compiled := make([]*job.Compiled, len(specs))
+	for i, sp := range specs {
+		c, err := job.Compile(sp)
+		if err != nil {
+			return nil, fmt.Errorf("specs[%d]: %w", i, err)
+		}
+		compiled[i] = c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	// Capacity pre-check makes the enqueue loop infallible: count the jobs
+	// that will actually need a queue slot (cache hits are born done).
+	need := 0
+	for _, c := range compiled {
+		if _, ok := s.cache.get(c.Hash); !ok {
+			need++
+		}
+	}
+	if need > cap(s.queue)-len(s.queue) {
+		return nil, ErrQueueFull
+	}
+	s.nextBatch++
+	bid := fmt.Sprintf("b%04d", s.nextBatch)
+	ids := make([]string, 0, len(compiled))
+	for _, c := range compiled {
+		e, err := s.submitLocked(c)
+		if err != nil {
+			// Unreachable given the pre-check; surface it rather than
+			// leaving a half-registered batch silently.
+			return nil, fmt.Errorf("batch %s: %w", bid, err)
+		}
+		ids = append(ids, e.id)
+	}
+	s.batches[bid] = ids
+	return s.batchLocked(bid, ids), nil
+}
+
+// GetBatch returns an aggregate snapshot of batch id.
+func (s *Service) GetBatch(id string) (*Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, ok := s.batches[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s.batchLocked(id, ids), nil
+}
+
+// batchLocked renders a batch snapshot. Callers hold s.mu.
+func (s *Service) batchLocked(id string, ids []string) *Batch {
+	b := &Batch{ID: id, Jobs: make([]*Job, 0, len(ids))}
+	for _, jid := range ids {
+		e := s.jobs[jid]
+		b.Jobs = append(b.Jobs, snapshot(e))
+		if e.state.Terminal() {
+			b.Done++
+		}
+		if e.state == StateFailed || e.state == StateCanceled {
+			b.Failed++
+		}
+		if e.cacheHit {
+			b.CacheHits++
+		}
+	}
+	return b
 }
 
 // Get returns a snapshot of job id.
@@ -500,6 +620,21 @@ func (s *Service) finishLocked(e *entry) {
 		close(ch)
 		delete(e.subs, ch)
 	}
+}
+
+// TerminalProgress renders a terminal job snapshot as the stream event
+// that ends its watch stream. Publish drops events a slow subscriber has
+// no buffer for — including, possibly, the terminal one — so stream
+// consumers that see the channel close without a Done event use this to
+// synthesize the final line.
+func TerminalProgress(j *Job) Progress {
+	ev := Progress{JobID: j.ID, State: j.State, Done: true, Error: j.Error}
+	if j.Result != nil {
+		ev.Round = j.Result.Rounds
+		ev.Outputs = j.Result.Outputs
+		ev.MaxErr = j.Result.MaxErr
+	}
+	return ev
 }
 
 func terminalEvent(e *entry) Progress {

@@ -178,6 +178,99 @@ func TestQueueFull(t *testing.T) {
 	s.CancelAll()
 }
 
+func TestSubmitBatch(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	specs := []job.Spec{ringSpec(1), ringSpec(2), ringSpec(3)}
+	b, err := s.SubmitBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Jobs) != 3 {
+		t.Fatalf("batch has %d jobs, want 3", len(b.Jobs))
+	}
+	// Members are ordinary jobs: Get works on them.
+	for _, j := range b.Jobs {
+		if _, err := s.Get(j.ID); err != nil {
+			t.Fatalf("member %s: %v", j.ID, err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		got, err := s.GetBatch(b.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Done == 3 {
+			if got.Failed != 0 {
+				t.Fatalf("batch failed: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never finished: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// An identical batch is served from the cache without queueing.
+	again, err := s.SubmitBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Done != 3 || again.CacheHits != 3 {
+		t.Fatalf("resubmitted batch not cache-served: %+v", again)
+	}
+}
+
+func TestSubmitBatchAllOrNothing(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Close()
+	// One invalid spec poisons the whole batch; nothing is enqueued.
+	bad := ringSpec(9)
+	bad.Function = "entropy"
+	if _, err := s.SubmitBatch([]job.Spec{ringSpec(8), bad}); err == nil {
+		t.Fatal("batch with invalid member accepted")
+	}
+	if st := s.Stats(); st.Submitted != 0 || st.Queued != 0 {
+		t.Fatalf("failed batch left state behind: %+v", st)
+	}
+	if _, err := s.SubmitBatch(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("want ErrEmptyBatch, got %v", err)
+	}
+	over := make([]job.Spec, MaxBatchSize+1)
+	for i := range over {
+		over[i] = ringSpec(int64(i))
+	}
+	if _, err := s.SubmitBatch(over); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("want ErrBatchTooLarge, got %v", err)
+	}
+	if _, err := s.GetBatch("b9999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestSubmitBatchQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	running, err := s.Submit(longSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running.ID, StateRunning)
+	// Three fresh jobs into a 2-slot queue: rejected atomically.
+	if _, err := s.SubmitBatch([]job.Spec{longSpec(2), longSpec(3), longSpec(4)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if st := s.Stats(); st.Queued != 0 {
+		t.Fatalf("rejected batch partially enqueued: %+v", st)
+	}
+	// Two fit.
+	if _, err := s.SubmitBatch([]job.Spec{longSpec(2), longSpec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	s.CancelAll()
+}
+
 func TestDeadline(t *testing.T) {
 	s := New(Config{Workers: 1, JobTimeout: 20 * time.Millisecond})
 	defer s.Close()
