@@ -36,7 +36,9 @@
 // Compute takes functional options: WithEngine(Sequential|Concurrent|
 // Sharded) selects the runner (the sharded engine scales to thousands of
 // agents), WithOnRound streams per-round progress, WithPatience /
-// WithMaxRounds tune stabilization detection.
+// WithMaxRounds tune stabilization detection, and WithFaults injects
+// seeded deterministic faults (message drop/dup/delay, agent
+// stall/crash-restart, link churn).
 //
 // The package re-exports the stable surface of the internal packages; the
 // full machinery (fibrations, exact rational solvers, matrix analysis)
@@ -51,6 +53,7 @@ import (
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
 	"anonnet/internal/engine"
+	"anonnet/internal/faults"
 	"anonnet/internal/fibration"
 	"anonnet/internal/funcs"
 	"anonnet/internal/graph"
@@ -251,6 +254,25 @@ var (
 	RunRounds = engine.RunRounds
 )
 
+// Deterministic fault injection (the faultnet subsystem). A FaultPlan
+// composes message drop/duplication/delay, agent stall and crash-restart,
+// and link churn; every decision is a pure hash of (seed, round,
+// participants), so equal seeds and plans give equal traces on all three
+// engines, and a zero plan is bit-identical to no plan at all.
+type (
+	// FaultPlan describes the fault channels of one execution.
+	FaultPlan = faults.Plan
+	// ChurnPlan describes link churn within a FaultPlan.
+	ChurnPlan = faults.ChurnPlan
+)
+
+// Churn connectivity-guard modes.
+const (
+	GuardOff    = faults.GuardOff
+	GuardReject = faults.GuardReject
+	GuardRepair = faults.GuardRepair
+)
+
 // Inputs builds an input slice from plain values.
 func Inputs(vals ...float64) []Input {
 	out := make([]Input, len(vals))
@@ -324,6 +346,7 @@ type computeConfig struct {
 	seed      int64
 	starts    []int
 	onRound   func(round int, outputs []Value)
+	faults    *faults.Plan
 }
 
 // Option tunes a Compute call.
@@ -361,6 +384,15 @@ func WithSeed(s int64) Option {
 // asynchronous starts (§2.2).
 func WithStarts(starts []int) Option {
 	return func(c *computeConfig) { c.starts = starts }
+}
+
+// WithFaults injects deterministic faults into the execution: the plan's
+// channels are applied under the Compute seed (WithSeed), so equal
+// (seed, plan) pairs give byte-identical traces on every engine. A zero
+// plan is a no-op. An invalid plan (probability outside [0, 1], unknown
+// churn guard) fails the Compute call.
+func WithFaults(p FaultPlan) Option {
+	return func(c *computeConfig) { c.faults = &p }
 }
 
 // WithOnRound installs a per-round observer: after every completed round it
@@ -435,6 +467,18 @@ func Compute(ctx context.Context, spec Spec, opts ...Option) (*ComputeResult, er
 		Factory:  spec.Factory,
 		Seed:     cc.seed,
 		Starts:   cc.starts,
+	}
+	if !cc.faults.IsZero() {
+		inj, err := faults.NewInjector(cc.seed, *cc.faults)
+		if err != nil {
+			return nil, fmt.Errorf("anonnet: %w", err)
+		}
+		cfg.Faults = inj
+		sched, err := faults.WrapSchedule(cfg.Schedule, cc.seed, cc.faults.Churn)
+		if err != nil {
+			return nil, fmt.Errorf("anonnet: %w", err)
+		}
+		cfg.Schedule = sched
 	}
 	var (
 		r   Runner

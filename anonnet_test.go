@@ -154,3 +154,61 @@ func TestLeaderCountExample(t *testing.T) {
 		}
 	}
 }
+
+func TestComputeWithFaults(t *testing.T) {
+	// Metropolis max on a symmetric dynamic network survives drops, stalls,
+	// and guarded churn; equal (seed, plan) pairs agree across engines.
+	setting := anonnet.Setting{Kind: anonnet.Symmetric, Row: anonnet.RowSize, KnownN: 6}
+	factory, err := anonnet.NewFactory(anonnet.Max(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := anonnet.FaultPlan{
+		Drop:  0.2,
+		Stall: 0.1,
+		Churn: &anonnet.ChurnPlan{Drop: 0.3, Guard: anonnet.GuardRepair},
+	}
+	run := func(opts ...anonnet.Option) *anonnet.ComputeResult {
+		opts = append(opts, anonnet.WithSeed(7), anonnet.WithFaults(plan), anonnet.WithMaxRounds(300))
+		res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+			Factory:  factory,
+			Schedule: anonnet.NewStatic(anonnet.BidirectionalRing(6)),
+			Inputs:   anonnet.Inputs(1, 7, 3, 2, 5, 4),
+			Kind:     setting.Kind,
+		}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(anonnet.WithEngine(anonnet.Sequential))
+	shd := run(anonnet.WithEngine(anonnet.Sharded), anonnet.WithShards(3))
+	for i := range seq.Outputs {
+		if seq.Outputs[i] != shd.Outputs[i] {
+			t.Fatalf("faulted engines disagree at %d: %v vs %v", i, seq.Outputs[i], shd.Outputs[i])
+		}
+		if seq.Outputs[i].(float64) != 7 {
+			t.Fatalf("agent %d output %v under faults, want max 7", i, seq.Outputs[i])
+		}
+	}
+	if seq.Rounds != shd.Rounds {
+		t.Fatalf("faulted engines ran different round counts: %d vs %d", seq.Rounds, shd.Rounds)
+	}
+}
+
+func TestComputeWithFaultsInvalidPlan(t *testing.T) {
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: anonnet.NewStatic(anonnet.Ring(4)),
+		Inputs:   anonnet.Inputs(1, 2, 3, 4),
+		Kind:     setting.Kind,
+	}, anonnet.WithFaults(anonnet.FaultPlan{Drop: 2}))
+	if err == nil {
+		t.Fatal("out-of-range drop probability accepted")
+	}
+}

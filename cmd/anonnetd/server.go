@@ -34,6 +34,7 @@ type server struct {
 //	POST   /v1/batch            submit a parameter sweep, all-or-nothing
 //	GET    /v1/batch/{id}       batch aggregate status
 //	GET    /v1/stats            service counters
+//	GET    /v1/readyz           readiness (503 + Retry-After when shedding)
 //	GET    /healthz             liveness
 //	GET    /debug/vars          expvar (includes the anonnetd map)
 //
@@ -51,6 +52,7 @@ func newMux(svc *service.Service) *http.ServeMux {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/batch/{id}", s.handleGetBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	// Pre-versioning clients used the bare paths; point them at /v1/
@@ -130,7 +132,40 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	return body, true
 }
 
+// retryAfterSeconds estimates when a shed client should come back: one
+// second per queued job ahead of it per worker, at least one.
+func retryAfterSeconds(rd service.Readiness) int {
+	workers := rd.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := rd.Queued / workers
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// shed rejects intake with 503 + Retry-After while the service cannot
+// accept work (queue saturated, shutting down, pool dead). Returns true
+// when the request was shed. Submit's own ErrQueueFull check stays as the
+// authoritative backstop — shed is the early, cheap answer that spares the
+// server decoding and compiling a spec it would refuse anyway.
+func (s *server) shed(w http.ResponseWriter) bool {
+	rd := s.svc.Readiness()
+	if rd.Ready {
+		return false
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(rd)))
+	writeProblem(w, http.StatusServiceUnavailable, "not_ready",
+		fmt.Sprintf("service cannot accept work: %s", rd.Reason), "")
+	return true
+}
+
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -208,6 +243,9 @@ func (g *batchGrid) axisSeeds(fallback int64) []int64 {
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -315,6 +353,18 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// handleReady is the load-balancer probe: 200 with the readiness detail
+// while the service accepts work, 503 + Retry-After while it sheds.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	rd := s.svc.Readiness()
+	if !rd.Ready {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(rd)))
+		writeJSON(w, http.StatusServiceUnavailable, rd)
+		return
+	}
+	writeJSON(w, http.StatusOK, rd)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -21,6 +21,7 @@ import (
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
 	"anonnet/internal/engine"
+	"anonnet/internal/faults"
 	"anonnet/internal/funcs"
 	"anonnet/internal/graph"
 	"anonnet/internal/model"
@@ -48,6 +49,15 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "RNG seed")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-agent engine")
 		dot        = flag.Bool("dot", false, "print the round-1 network in Graphviz dot format and exit")
+
+		dropP    = flag.Float64("drop", 0, "fault: per-message drop probability")
+		dupP     = flag.Float64("dup", 0, "fault: per-message duplication probability")
+		delayP   = flag.Float64("delayp", 0, "fault: per-message delay probability")
+		delayMax = flag.Int("delay", 0, "fault: maximum delay in rounds (with -delayp; 0 means 1)")
+		stallP   = flag.Float64("stall", 0, "fault: per-agent per-round stall probability")
+		crashP   = flag.Float64("crash", 0, "fault: per-agent per-round crash-restart probability")
+		churnP   = flag.Float64("churn", 0, "fault: per-link per-window removal probability")
+		guard    = flag.String("guard", "repair", "churn connectivity guard: off, reject, repair")
 	)
 	flag.Parse()
 
@@ -100,8 +110,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	plan := faults.Plan{
+		Drop: *dropP, Dup: *dupP, DelayP: *delayP, DelayMax: *delayMax,
+		Stall: *stallP, Crash: *crashP,
+	}
+	if *churnP > 0 {
+		if kind == model.OutputPortAware {
+			return fmt.Errorf("link churn cannot preserve the output-port labelling; use -kind bc, od, or sym")
+		}
+		plan.Churn = &faults.ChurnPlan{Drop: *churnP, Guard: *guard}
+	}
+	var injector *faults.Injector
+	if !plan.IsZero() {
+		injector, err = faults.NewInjector(*seed, plan)
+		if err != nil {
+			return err
+		}
+		schedule, err = faults.WrapSchedule(schedule, *seed, plan.Churn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("faults:  drop=%.2f dup=%.2f delay=%.2f(max %d) stall=%.2f crash=%.2f churn=%.2f guard=%s\n",
+			plan.Drop, plan.Dup, plan.DelayP, plan.DelayMax, plan.Stall, plan.Crash, *churnP, *guard)
+	}
 	cfg := engine.Config{
 		Schedule: schedule, Kind: kind, Inputs: inputs, Factory: factory, Seed: *seed,
+	}
+	if injector != nil {
+		cfg.Faults = injector
 	}
 	var r engine.Runner
 	if *concurrent {
@@ -136,6 +172,10 @@ func run() error {
 	st := r.Stats()
 	fmt.Printf("communication: %d messages over %d rounds (%.1f per agent per round)\n",
 		st.MessagesDelivered, st.Rounds, float64(st.MessagesDelivered)/float64(st.Rounds)/float64(n))
+	if injector != nil {
+		fmt.Printf("faults injected: %d dropped, %d duplicated, %d delayed\n",
+			st.Faults.Dropped, st.Faults.Duplicated, st.Faults.Delayed)
+	}
 	return nil
 }
 

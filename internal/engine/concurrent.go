@@ -26,6 +26,8 @@ type Concurrent struct {
 	resps    []chan workerResp
 	closed   bool
 	messages int64
+	pend     *pendingStore
+	faults   FaultStats
 	wg       sync.WaitGroup
 }
 
@@ -86,6 +88,9 @@ func NewConcurrent(cfg Config) (*Concurrent, error) {
 		reqs:     make([]chan workerReq, len(agents)),
 		resps:    make([]chan workerResp, len(agents)),
 	}
+	if cfg.Faults != nil {
+		c.pend = newPendingStore(len(agents))
+	}
 	for i := range agents {
 		c.reqs[i] = make(chan workerReq)
 		c.resps[i] = make(chan workerResp)
@@ -97,20 +102,22 @@ func NewConcurrent(cfg Config) (*Concurrent, error) {
 
 // worker runs agent i's automaton: it blocks on the request channel,
 // performs the requested phase on the agent it exclusively owns during the
-// phase, and replies.
+// phase, and replies. The agent is re-read from c.agents[i] on every phase
+// (rather than cached) so that crash-restarts — performed by the engine
+// goroutine between rounds, ordered by the channel synchronization — take
+// effect. Panicking agent code is recovered into a phase error instead of
+// killing the process.
 func (c *Concurrent) worker(i int) {
 	defer c.wg.Done()
-	a := c.agents[i]
 	for req := range c.reqs[i] {
 		switch req.phase {
 		case phaseSend:
-			msgs, err := sendPhase(a, c.cfg.Kind, i, req.outdeg)
+			msgs, err := safeSendPhase(c.agents[i], c.cfg.Kind, i, req.outdeg)
 			c.resps[i] <- workerResp{msgs: msgs, err: err}
 		case phaseReceive:
-			a.Receive(req.inbox)
-			c.resps[i] <- workerResp{}
+			c.resps[i] <- workerResp{err: safeReceive(c.agents[i], i, req.inbox)}
 		case phaseCorrupt:
-			corr, ok := a.(model.Corruptible)
+			corr, ok := c.agents[i].(model.Corruptible)
 			if ok {
 				corr.Corrupt(req.junk)
 			}
@@ -120,6 +127,27 @@ func (c *Concurrent) worker(i int) {
 			return
 		}
 	}
+}
+
+// safeSendPhase is sendPhase with agent panics recovered into errors.
+func safeSendPhase(a model.Agent, kind model.Kind, idx, outdeg int) (msgs []model.Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			msgs, err = nil, fmt.Errorf("engine: agent %d panicked in send: %v", idx, r)
+		}
+	}()
+	return sendPhase(a, kind, idx, outdeg)
+}
+
+// safeReceive applies the transition function with panics recovered.
+func safeReceive(a model.Agent, idx int, inbox []model.Message) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: agent %d panicked in receive: %v", idx, r)
+		}
+	}()
+	a.Receive(inbox)
+	return nil
 }
 
 // N returns the number of agents.
@@ -146,7 +174,10 @@ func (c *Concurrent) Step() error {
 		return fmt.Errorf("engine: Step on closed concurrent engine")
 	}
 	t := c.round + 1
-	g, active, err := prepareRound(c.schedule, c.cfg.Kind, c.cfg.Starts, len(c.agents), t)
+	if err := restartAgents(c.cfg.Faults, t, c.cfg.Factory, c.cfg.Inputs, c.agents); err != nil {
+		return err
+	}
+	g, active, err := prepareRound(c.schedule, c.cfg.Kind, c.cfg.Starts, c.cfg.Faults, len(c.agents), t)
 	if err != nil {
 		return err
 	}
@@ -171,28 +202,10 @@ func (c *Concurrent) Step() error {
 	if firstErr != nil {
 		return firstErr
 	}
-	// Routing, identical to the sequential engine's.
-	inboxes := make([][]model.Message, len(c.agents))
-	for i := range c.agents {
-		if !active[i] {
-			continue
-		}
-		for _, ei := range g.OutEdges(i) {
-			e := g.Edge(ei)
-			if !active[e.To] {
-				continue
-			}
-			var m model.Message
-			if c.cfg.Kind == model.OutputPortAware {
-				if e.Port < 1 || e.Port > len(sent[i]) {
-					return fmt.Errorf("engine: agent %d: edge port %d out of range 1..%d", i, e.Port, len(sent[i]))
-				}
-				m = sent[i][e.Port-1]
-			} else {
-				m = sent[i][0]
-			}
-			inboxes[e.To] = append(inboxes[e.To], m)
-		}
+	// Routing, shared with the sequential engine.
+	inboxes, err := deliverRound(g, c.cfg.Kind, active, sent, t, c.cfg.Faults, c.pend, &c.faults)
+	if err != nil {
+		return err
 	}
 	for i := range c.agents {
 		if active[i] {
@@ -207,9 +220,16 @@ func (c *Concurrent) Step() error {
 		}
 	}
 	for i := range c.agents {
-		if active[i] {
-			<-c.resps[i]
+		if !active[i] {
+			continue
 		}
+		resp := <-c.resps[i]
+		if resp.err != nil && firstErr == nil {
+			firstErr = resp.err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	c.round = t
 	return nil
@@ -235,7 +255,7 @@ func (c *Concurrent) Corrupt(junk int64) int {
 
 // Stats returns cumulative execution statistics.
 func (c *Concurrent) Stats() Stats {
-	return Stats{Rounds: c.round, MessagesDelivered: c.messages}
+	return Stats{Rounds: c.round, MessagesDelivered: c.messages, Faults: c.faults}
 }
 
 // Close stops the worker goroutines. It is idempotent.

@@ -38,6 +38,11 @@ type Config struct {
 	// executions with asynchronous starts (§2.2); nil means all agents
 	// start at round 1.
 	Starts []int
+	// Faults is an optional deterministic fault injector (see
+	// internal/faults). Nil means fault-free execution; the three engines
+	// then follow exactly the pre-fault code paths, so traces are
+	// bit-identical to builds without the fault layer.
+	Faults FaultInjector
 }
 
 func (c *Config) validate() error {
@@ -91,8 +96,11 @@ type Stats struct {
 	// Rounds is the number of completed rounds.
 	Rounds int
 	// MessagesDelivered counts every delivered message (one per edge per
-	// round between active agents).
+	// round between active agents, duplicates and re-delivered delayed
+	// messages included).
 	MessagesDelivered int64
+	// Faults counts the injected faults actually applied.
+	Faults FaultStats
 }
 
 // Engine is the deterministic sequential runner.
@@ -103,6 +111,8 @@ type Engine struct {
 	round    int
 	rng      *rand.Rand
 	messages int64
+	pend     *pendingStore
+	faults   FaultStats
 }
 
 var _ Runner = (*Engine)(nil)
@@ -133,6 +143,9 @@ func New(cfg Config) (*Engine, error) {
 		schedule: schedule,
 		agents:   agents,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Faults != nil {
+		e.pend = newPendingStore(len(agents))
 	}
 	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
 		return nil, err
@@ -181,7 +194,7 @@ func (e *Engine) Close() {}
 
 // Stats returns cumulative execution statistics.
 func (e *Engine) Stats() Stats {
-	return Stats{Rounds: e.round, MessagesDelivered: e.messages}
+	return Stats{Rounds: e.round, MessagesDelivered: e.messages, Faults: e.faults}
 }
 
 // Corrupt scrambles every Corruptible agent's state.
@@ -196,14 +209,29 @@ func (e *Engine) Corrupt(junk int64) int {
 	return count
 }
 
-// Step executes one round: send, route, shuffle, receive.
+// Step executes one round: restart, send, route (with fault fates),
+// shuffle, receive.
 func (e *Engine) Step() error {
 	t := e.round + 1
+	if err := restartAgents(e.cfg.Faults, t, e.cfg.Factory, e.cfg.Inputs, e.agents); err != nil {
+		return err
+	}
 	g, active, err := e.roundGraph(t)
 	if err != nil {
 		return err
 	}
-	inboxes, err := routeRound(g, e.cfg.Kind, active, func(i int) model.Agent { return e.agents[i] })
+	sent := make([][]model.Message, len(e.agents))
+	for i, a := range e.agents {
+		if !active[i] {
+			continue
+		}
+		msgs, err := sendPhase(a, e.cfg.Kind, i, g.OutDegree(i))
+		if err != nil {
+			return err
+		}
+		sent[i] = msgs
+	}
+	inboxes, err := deliverRound(g, e.cfg.Kind, active, sent, t, e.cfg.Faults, e.pend, &e.faults)
 	if err != nil {
 		return err
 	}
@@ -226,10 +254,10 @@ func (e *Engine) Step() error {
 // roundGraph fetches and validates the round-t communication graph and the
 // activity mask.
 func (e *Engine) roundGraph(t int) (*graph.Graph, []bool, error) {
-	return prepareRound(e.schedule, e.cfg.Kind, e.cfg.Starts, len(e.agents), t)
+	return prepareRound(e.schedule, e.cfg.Kind, e.cfg.Starts, e.cfg.Faults, len(e.agents), t)
 }
 
-func prepareRound(s dynamic.Schedule, kind model.Kind, starts []int, n, t int) (*graph.Graph, []bool, error) {
+func prepareRound(s dynamic.Schedule, kind model.Kind, starts []int, inj FaultInjector, n, t int) (*graph.Graph, []bool, error) {
 	g := s.At(t)
 	if g == nil {
 		return nil, nil, fmt.Errorf("engine: schedule returned nil graph at round %d", t)
@@ -250,43 +278,8 @@ func prepareRound(s dynamic.Schedule, kind model.Kind, starts []int, n, t int) (
 	for i := range active {
 		active[i] = starts == nil || t >= starts[i]
 	}
+	applyStalls(inj, t, active)
 	return g, active, nil
-}
-
-// routeRound performs the send phase and routes messages into per-agent
-// inboxes. It is shared by both engines; getAgent abstracts where the agent
-// lives.
-func routeRound(g *graph.Graph, kind model.Kind, active []bool, getAgent func(int) model.Agent) ([][]model.Message, error) {
-	n := g.N()
-	inboxes := make([][]model.Message, n)
-	for i := 0; i < n; i++ {
-		if !active[i] {
-			continue
-		}
-		outEdges := g.OutEdges(i)
-		msgs, err := sendPhase(getAgent(i), kind, i, len(outEdges))
-		if err != nil {
-			return nil, err
-		}
-		for _, ei := range outEdges {
-			e := g.Edge(ei)
-			if !active[e.To] {
-				continue
-			}
-			var m model.Message
-			if kind == model.OutputPortAware {
-				port := e.Port
-				if port < 1 || port > len(msgs) {
-					return nil, fmt.Errorf("engine: agent %d: edge port %d out of range 1..%d", i, port, len(msgs))
-				}
-				m = msgs[port-1]
-			} else {
-				m = msgs[0]
-			}
-			inboxes[e.To] = append(inboxes[e.To], m)
-		}
-	}
-	return inboxes, nil
 }
 
 // sendPhase applies the model's sending function.

@@ -51,6 +51,11 @@ type Sharded struct {
 	shardErr []error
 	// shardMsgs[k] counts deliveries made by shard k in the current round.
 	shardMsgs []int64
+	// shardFaults[k] counts fault applications by shard k in the current
+	// round; summed into faults after the delivery barrier.
+	shardFaults []FaultStats
+	pend        *pendingStore
+	faults      FaultStats
 
 	// adj is the flattened adjacency of the last round graph, rebuilt only
 	// when the schedule hands out a different *graph.Graph. Static
@@ -124,6 +129,10 @@ func NewSharded(cfg Config, shards int) (*Sharded, error) {
 		shardErr:  make([]error, shards),
 		shardMsgs: make([]int64, shards),
 	}
+	if cfg.Faults != nil {
+		s.pend = newPendingStore(n)
+		s.shardFaults = make([]FaultStats, shards)
+	}
 	s.adjPool.New = func() any { return new(csrAdjacency) }
 	if s.allOn {
 		for i := range s.active {
@@ -156,7 +165,7 @@ func (s *Sharded) Outputs() []model.Value {
 
 // Stats returns cumulative execution statistics.
 func (s *Sharded) Stats() Stats {
-	return Stats{Rounds: s.round, MessagesDelivered: s.messages}
+	return Stats{Rounds: s.round, MessagesDelivered: s.messages, Faults: s.faults}
 }
 
 // Corrupt scrambles every Corruptible agent's state. Between rounds the
@@ -204,6 +213,11 @@ func (s *Sharded) forShards(fn func(k, lo, hi int)) {
 		wg.Add(1)
 		go func(k, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil && s.shardErr[k] == nil {
+					s.shardErr[k] = fmt.Errorf("engine: panic in shard %d (agents %d..%d): %v", k, lo, hi-1, r)
+				}
+			}()
 			fn(k, lo, hi)
 		}(k, lo, hi)
 	}
@@ -231,6 +245,9 @@ func (s *Sharded) Step() error {
 		return fmt.Errorf("engine: Step on closed sharded engine")
 	}
 	t := s.round + 1
+	if err := restartAgents(s.cfg.Faults, t, s.cfg.Factory, s.cfg.Inputs, s.agents); err != nil {
+		return err
+	}
 	if err := s.roundGraph(t); err != nil {
 		return err
 	}
@@ -260,7 +277,12 @@ func (s *Sharded) Step() error {
 
 	// Delivery phase: each shard fills the inboxes of its own agents from
 	// the flat adjacency — shard-to-shard reads of the sent buffers, no
-	// locks needed because sent is read-only between the barriers.
+	// locks needed because sent is read-only between the barriers. Fault
+	// fates are pure functions of (round, src, dst), so evaluating them
+	// from shard goroutines yields the same outcomes as the sequential
+	// engine; each destination is owned by exactly one shard, so the
+	// pending store's per-destination queues need no locking either.
+	inj := s.cfg.Faults
 	s.forShards(func(k, lo, hi int) {
 		var delivered int64
 		for j := lo; j < hi; j++ {
@@ -277,8 +299,18 @@ func (s *Sharded) Step() error {
 							src, adj.port[e], len(s.sent[src]))
 						return
 					}
-					inbox = append(inbox, s.sent[src][slot])
+					m := s.sent[src][slot]
+					if inj == nil || int(src) == j {
+						inbox = append(inbox, m)
+						continue
+					}
+					applyFate(inj.MessageFate(t, int(src), j), m, t, j, &inbox, s.pend, &s.shardFaults[k])
 				}
+			}
+			if s.pend != nil {
+				inbox = s.pend.flush(j, t, inbox, s.active[j])
+			}
+			if s.active[j] {
 				delivered += int64(len(inbox))
 			}
 			s.inboxes[j] = inbox
@@ -291,6 +323,10 @@ func (s *Sharded) Step() error {
 	for k := range s.shardMsgs {
 		s.messages += s.shardMsgs[k]
 		s.shardMsgs[k] = 0
+	}
+	for k := range s.shardFaults {
+		s.faults.add(s.shardFaults[k])
+		s.shardFaults[k] = FaultStats{}
 	}
 
 	// Multiset shuffle: a serial pass in agent-index order over the shared
@@ -311,6 +347,9 @@ func (s *Sharded) Step() error {
 			}
 		}
 	})
+	if err := s.firstShardErr(); err != nil {
+		return err
+	}
 	s.round = t
 	return nil
 }
@@ -319,10 +358,11 @@ func (s *Sharded) Step() error {
 // when it differs from the previous round's, and refreshes the activity
 // mask.
 func (s *Sharded) roundGraph(t int) error {
-	if !s.allOn {
+	if !s.allOn || s.cfg.Faults != nil {
 		for i := range s.active {
-			s.active[i] = t >= s.cfg.Starts[i]
+			s.active[i] = s.cfg.Starts == nil || t >= s.cfg.Starts[i]
 		}
+		applyStalls(s.cfg.Faults, t, s.active)
 	}
 	g := s.schedule.At(t)
 	if g == nil {

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"fmt"
+
+	"anonnet/internal/dynamic"
+	"anonnet/internal/graph"
+)
+
+// Churn is a dynamic.Schedule wrapper that removes links from the base
+// schedule's graphs. Removal decisions are hashed per (window, unordered
+// vertex pair): parallel edges and the two directions of a symmetric link
+// share a fate, so symmetric graphs stay symmetric, and self-loops are
+// never removed, so the §2.1 self-loop invariant holds. Like every
+// Schedule, At is deterministic in t; the engines call it once per round
+// from a single goroutine.
+type Churn struct {
+	base   dynamic.Schedule
+	seed   uint64
+	plan   ChurnPlan
+	window int
+
+	// cache memoizes the churned graph per (base graph, window) so static
+	// schedules rebuild only once per window. Bounded: wiped when full —
+	// rebuilds are pure, so eviction never changes the schedule.
+	cache map[churnKey]*graph.Graph
+	err   error
+}
+
+type churnKey struct {
+	g *graph.Graph
+	w int
+}
+
+var _ dynamic.Schedule = (*Churn)(nil)
+
+// WrapSchedule wraps base with the plan's churn channel. A nil or zero
+// churn plan returns base unchanged. Under Guard "reject" the first window
+// is checked eagerly so obviously disconnecting plans fail at construction;
+// later windows that disconnect make At return nil (failing the round) and
+// record Err.
+func WrapSchedule(base dynamic.Schedule, seed int64, plan *ChurnPlan) (dynamic.Schedule, error) {
+	if plan == nil || plan.Drop == 0 {
+		return base, nil
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	w := plan.Window
+	if w < 1 {
+		w = 1
+	}
+	c := &Churn{
+		base:   base,
+		seed:   uint64(seed),
+		plan:   *plan,
+		window: w,
+		cache:  make(map[churnKey]*graph.Graph),
+	}
+	if c.plan.Guard == GuardReject {
+		if c.At(1) == nil {
+			return nil, c.Err()
+		}
+	}
+	return c, nil
+}
+
+// N returns the vertex count.
+func (c *Churn) N() int { return c.base.N() }
+
+// Err returns the sticky guard error after At returned nil, for reporting.
+func (c *Churn) Err() error { return c.err }
+
+// At returns the churned round-t graph, or nil when the base yields nil or
+// the reject guard fires (Err then explains).
+func (c *Churn) At(t int) *graph.Graph {
+	g := c.base.At(t)
+	if g == nil {
+		return nil
+	}
+	w := (t - 1) / c.window
+	key := churnKey{g: g, w: w}
+	if h, ok := c.cache[key]; ok {
+		return h
+	}
+	h, err := c.churned(g, w)
+	if err != nil {
+		c.err = err
+		return nil
+	}
+	if len(c.cache) >= 256 {
+		c.cache = make(map[churnKey]*graph.Graph)
+	}
+	c.cache[key] = h
+	return h
+}
+
+// churned applies window w's removals to g and enforces the guard.
+func (c *Churn) churned(g *graph.Graph, w int) (*graph.Graph, error) {
+	type pair struct{ a, b int }
+	removed := make(map[pair]bool)
+	var order []pair // first-occurrence order, for deterministic repair
+	for ei := 0; ei < g.M(); ei++ {
+		e := g.Edge(ei)
+		if e.From == e.To {
+			continue
+		}
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		p := pair{a, b}
+		if _, seen := removed[p]; seen {
+			continue
+		}
+		if hash01(c.seed, saltChurn, w, a, b) < c.plan.Drop {
+			removed[p] = true
+			order = append(order, p)
+		} else {
+			removed[p] = false
+		}
+	}
+	if len(order) == 0 {
+		return g, nil
+	}
+	build := func() *graph.Graph {
+		h := graph.New(g.N())
+		for ei := 0; ei < g.M(); ei++ {
+			e := g.Edge(ei)
+			a, b := e.From, e.To
+			if a > b {
+				a, b = b, a
+			}
+			if e.From != e.To && removed[pair{a, b}] {
+				continue
+			}
+			h.AddPortEdge(e.From, e.To, e.Port)
+		}
+		return h
+	}
+	h := build()
+	guard := c.plan.Guard
+	if guard == "" || guard == GuardOff || h.StronglyConnected() {
+		return h, nil
+	}
+	if guard == GuardReject {
+		return nil, fmt.Errorf("faults: churn window %d disconnects the network (guard %q)", w, GuardReject)
+	}
+	// Repair: restore removed links in deterministic first-occurrence order
+	// until strong connectivity returns. The base graph itself is strongly
+	// connected in every intended workload, so the loop terminates with at
+	// worst the base graph.
+	for _, p := range order {
+		removed[p] = false
+		h = build()
+		if h.StronglyConnected() {
+			return h, nil
+		}
+	}
+	if !h.StronglyConnected() {
+		return nil, fmt.Errorf("faults: churn window %d cannot be repaired: base graph is not strongly connected", w)
+	}
+	return h, nil
+}

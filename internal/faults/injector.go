@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"anonnet/internal/engine"
+)
+
+// Injector compiles a (Seed, Plan) pair into the engine.FaultInjector
+// contract. Every decision is a pure hash of the seed, the round, the
+// participating agents, and a per-channel salt — no shared state, no RNG
+// stream — so the three engines may evaluate it concurrently and in any
+// order and still agree, and re-running the same (Seed, Plan) replays the
+// exact same faults.
+type Injector struct {
+	seed uint64
+	plan Plan
+}
+
+var _ engine.FaultInjector = (*Injector)(nil)
+
+// NewInjector validates the plan and returns its injector. The seed is
+// deliberately separate from the engine's delivery-shuffle seed so fault
+// scenarios can be varied while holding delivery order fixed (callers that
+// want a single knob pass the same value for both).
+func NewInjector(seed int64, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{seed: uint64(seed), plan: plan}, nil
+}
+
+// Plan returns the validated plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Per-channel salts: arbitrary odd 64-bit constants that decorrelate the
+// fault channels from one another.
+const (
+	saltDrop     = 0x9e3779b97f4a7c15
+	saltDup      = 0xc2b2ae3d27d4eb4f
+	saltDelay    = 0x165667b19e3779f9
+	saltDelayLen = 0x27d4eb2f165667c5
+	saltStall    = 0x2545f4914f6cdd1d
+	saltCrash    = 0x9e6c63d0876a9a35
+	saltChurn    = 0xd6e8feb86659fd93
+)
+
+// splitmix64 is the finalizer of the splitmix64 generator: a bijective
+// avalanche mix with good distribution, used here as a keyed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash01 maps (seed, salt, t, a, b) to a uniform float64 in [0, 1).
+func hash01(seed, salt uint64, t, a, b int) float64 {
+	h := splitmix64(seed ^ salt)
+	h = splitmix64(h ^ uint64(int64(t)))
+	h = splitmix64(h ^ uint64(int64(a)))
+	h = splitmix64(h ^ uint64(int64(b)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// Stalled implements engine.FaultInjector.
+func (in *Injector) Stalled(t, agent int) bool {
+	return in.plan.Stall > 0 && hash01(in.seed, saltStall, t, agent, 0) < in.plan.Stall
+}
+
+// Restart implements engine.FaultInjector.
+func (in *Injector) Restart(t, agent int) bool {
+	return in.plan.Crash > 0 && hash01(in.seed, saltCrash, t, agent, 0) < in.plan.Crash
+}
+
+// MessageFate implements engine.FaultInjector. The engines exempt
+// self-loops and evaluate one fate per (src, dst) channel per round.
+func (in *Injector) MessageFate(t, src, dst int) engine.Fate {
+	var f engine.Fate
+	p := &in.plan
+	if p.Drop > 0 && hash01(in.seed, saltDrop, t, src, dst) < p.Drop {
+		f.Drop = true
+		return f
+	}
+	if p.Dup > 0 && hash01(in.seed, saltDup, t, src, dst) < p.Dup {
+		f.Dup = 1
+	}
+	if p.DelayP > 0 && hash01(in.seed, saltDelay, t, src, dst) < p.DelayP {
+		f.Delay = 1
+		if p.DelayMax > 1 {
+			d := 1 + int(hash01(in.seed, saltDelayLen, t, src, dst)*float64(p.DelayMax))
+			if d > p.DelayMax {
+				d = p.DelayMax
+			}
+			f.Delay = d
+		}
+	}
+	return f
+}

@@ -19,6 +19,12 @@ func FuzzSpecCodec(f *testing.F) {
 		`{"graph":{"builder":"hypercube","d":3},"kind":"op","function":"mode","values":[1,1,2,2,3,3,4,4]}`,
 		`{"graph":{"builder":"ring","n":2},"kind":"bc","function":"max","starts":[1,3],"concurrent":true}`,
 		`{"graph":{"builder":"geometric","n":4,"radius":0.5},"kind":"sym","row":"bound","bound_n":8,"function":"average"}`,
+		`{"schema_version":3,"graph":{"builder":"ring","n":4},"kind":"od","function":"average","faults":{"drop":0.2,"dup":0.1,"delay_p":0.1,"delay_max":3}}`,
+		`{"schema_version":3,"graph":{"builder":"ring","n":6},"kind":"sym","function":"max","faults":{"stall":0.1,"crash":0.05,"churn":{"drop":0.3,"window":2,"guard":"repair"}}}`,
+		`{"graph":{"builder":"ring","n":4},"kind":"od","function":"average","faults":{}}`,
+		`{"schema_version":2,"graph":{"builder":"ring","n":4},"kind":"od","function":"average","faults":{"drop":0.5}}`,
+		`{"schema_version":3,"graph":{"builder":"ring","n":4},"kind":"op","function":"average","faults":{"churn":{"drop":0.2}}}`,
+		`{"schema_version":3,"graph":{"builder":"ring","n":4},"kind":"od","function":"average","faults":{"drop":7}}`,
 		`not json at all`,
 		`{"graph":{"builder":"ring","n":1e99},"kind":"od","function":"average"}`,
 		`{}`,

@@ -9,6 +9,7 @@ import (
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
 	"anonnet/internal/engine"
+	"anonnet/internal/faults"
 	"anonnet/internal/funcs"
 	"anonnet/internal/model"
 )
@@ -72,8 +73,11 @@ type Compiled struct {
 	Func funcs.Func
 	// Factory is the algorithm realizing the cell, from core.NewFactory.
 	Factory model.Factory
-	// Schedule is the built network.
+	// Schedule is the built network, churn-wrapped when the spec asks.
 	Schedule dynamic.Schedule
+	// Injector is the compiled fault injector; nil when the spec has no
+	// faults block (the engines then follow the fault-free paths exactly).
+	Injector *faults.Injector
 	// Inputs are the private inputs with leaders marked.
 	Inputs []model.Input
 	// Expected is f applied to the inputs — the ground truth the harness
@@ -130,6 +134,18 @@ func Compile(s Spec) (*Compiled, error) {
 	for _, l := range c.Leaders {
 		inputs[l].Leader = true
 	}
+	schedule := info.build(c.Graph, n, c.Seed)
+	var injector *faults.Injector
+	if c.Faults != nil {
+		injector, err = faults.NewInjector(c.Seed, *c.Faults)
+		if err != nil {
+			return nil, errf("faults", "%v", err)
+		}
+		schedule, err = faults.WrapSchedule(schedule, c.Seed, c.Faults.Churn)
+		if err != nil {
+			return nil, errf("faults.churn", "%v", err)
+		}
+	}
 	return &Compiled{
 		Spec:     c,
 		Hash:     hash,
@@ -137,7 +153,8 @@ func Compile(s Spec) (*Compiled, error) {
 		Setting:  setting,
 		Func:     f,
 		Factory:  factory,
-		Schedule: info.build(c.Graph, n, c.Seed),
+		Schedule: schedule,
+		Injector: injector,
 		Inputs:   inputs,
 		Expected: f.FromVector(c.Values),
 	}, nil
@@ -162,6 +179,16 @@ type Result struct {
 	MaxErr F64 `json:"max_err"`
 	// Messages counts every delivered message.
 	Messages int64 `json:"messages"`
+	// Faults counts the injected faults actually applied; present only
+	// when the spec carried a faults block.
+	Faults *FaultCounts `json:"faults,omitempty"`
+}
+
+// FaultCounts is the serializable mirror of engine.FaultStats.
+type FaultCounts struct {
+	Dropped    int64 `json:"dropped"`
+	Duplicated int64 `json:"duplicated"`
+	Delayed    int64 `json:"delayed"`
 }
 
 // Run executes the compiled job to stabilization (or budget exhaustion)
@@ -177,6 +204,11 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 		Factory:  c.Factory,
 		Seed:     c.Spec.Seed,
 		Starts:   c.Spec.Starts,
+	}
+	// Assign through an explicit nil check: a typed-nil *faults.Injector in
+	// the interface field would defeat the engines' inj == nil fast paths.
+	if c.Injector != nil {
+		cfg.Faults = c.Injector
 	}
 	var (
 		r   engine.Runner
@@ -199,7 +231,7 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 		return nil, err
 	}
 	outputs, maxErr := Numeric(res.Outputs, c.Expected)
-	return &Result{
+	out := &Result{
 		Outputs:      outputs,
 		Stable:       res.Stable,
 		StabilizedAt: res.StabilizedAt,
@@ -207,7 +239,12 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 		Expected:     F64(c.Expected),
 		MaxErr:       F64(maxErr),
 		Messages:     r.Stats().MessagesDelivered,
-	}, nil
+	}
+	if c.Injector != nil {
+		fs := r.Stats().Faults
+		out.Faults = &FaultCounts{Dropped: fs.Dropped, Duplicated: fs.Duplicated, Delayed: fs.Delayed}
+	}
+	return out, nil
 }
 
 // Numeric converts an engine output vector to serializable floats and

@@ -21,6 +21,7 @@ import (
 
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
+	"anonnet/internal/faults"
 	"anonnet/internal/funcs"
 	"anonnet/internal/graph"
 	"anonnet/internal/model"
@@ -75,8 +76,9 @@ type GraphSpec struct {
 
 // SpecSchemaVersion is the current job-spec schema version. Version 1 is
 // the original unversioned shape; version 2 adds the engine/shards
-// selectors. Specs omitting schema_version are version 1.
-const SpecSchemaVersion = 2
+// selectors; version 3 adds the faults block. Specs omitting
+// schema_version are version 1.
+const SpecSchemaVersion = 3
 
 // Spec is one simulation job. The zero value is invalid; Canonical
 // validates and normalizes.
@@ -130,6 +132,12 @@ type Spec struct {
 	// Starts optionally gives per-agent activation rounds ≥ 1
 	// (asynchronous starts).
 	Starts []int `json:"starts,omitempty"`
+	// Faults optionally describes deterministic fault injection (message
+	// drop/duplication/delay, agent stall/crash-restart, link churn),
+	// seeded by Seed. A zero plan is normalized to absent, so fault-free
+	// specs hash — and cache — exactly as they did before the field
+	// existed.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // builderInfo describes one graph family: whether its schedule is static,
@@ -297,7 +305,40 @@ func (s Spec) Canonical() (Spec, error) {
 	if s.SchemaVersion == 1 && (s.Engine != "" || s.Shards != 0) {
 		return Spec{}, errf("engine", "engine/shards need schema_version ≥ 2")
 	}
+	if s.SchemaVersion >= 1 && s.SchemaVersion <= 2 && !s.Faults.IsZero() {
+		return Spec{}, errf("faults", "faults need schema_version ≥ 3")
+	}
 	c.SchemaVersion = 0
+
+	// Faults: a zero plan means "no faults" and is normalized to absent, so
+	// adding the field never changed fault-free hashes; a non-zero plan is
+	// validated, copied, and its defaults materialized.
+	if s.Faults.IsZero() {
+		c.Faults = nil
+	} else {
+		if err := s.Faults.Validate(); err != nil {
+			return Spec{}, errf("faults", "%v", err)
+		}
+		plan := *s.Faults
+		if plan.DelayP > 0 && plan.DelayMax == 0 {
+			plan.DelayMax = 1
+		}
+		if plan.Churn != nil {
+			if plan.Churn.Drop == 0 {
+				plan.Churn = nil
+			} else {
+				churn := *plan.Churn
+				if churn.Window == 0 {
+					churn.Window = 1
+				}
+				if churn.Guard == "" {
+					churn.Guard = faults.GuardOff
+				}
+				plan.Churn = &churn
+			}
+		}
+		c.Faults = &plan
+	}
 
 	// Engine selection. "conc" folds into the version-1 Concurrent flag
 	// and "seq" into its absence, so a version-2 spec naming the engine
@@ -360,6 +401,9 @@ func (s Spec) Canonical() (Spec, error) {
 		return Spec{}, verr
 	}
 	c.Kind = kindName
+	if kind == model.OutputPortAware && c.Faults != nil && c.Faults.Churn != nil {
+		return Spec{}, errf("faults.churn", "link churn cannot preserve the output-port labelling; use kind bc, od, or sym")
+	}
 
 	row, rowName, verr := parseRow(s.Row)
 	if verr != nil {

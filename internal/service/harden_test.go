@@ -1,0 +1,180 @@
+package service
+
+// Hardened-runtime coverage: worker panic recovery, transient-error
+// retries with backoff, and the readiness probe.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"anonnet/internal/engine"
+	"anonnet/internal/job"
+)
+
+// TestPanicRecoveredKeepsServing is the acceptance criterion: a job whose
+// runner panics (standing in for a panicking agent factory) ends failed
+// with the panic message, the worker pool survives, readiness stays
+// ready, and a subsequent submission completes normally.
+func TestPanicRecoveredKeepsServing(t *testing.T) {
+	runner := func(ctx context.Context, c *job.Compiled, obs engine.Observer) (*job.Result, error) {
+		if c.Spec.Seed == 42 {
+			panic("agent factory exploded")
+		}
+		return job.Run(ctx, c, obs)
+	}
+	s := New(Config{Workers: 1, Runner: runner})
+	defer s.Close()
+
+	j, err := s.Submit(ringSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateFailed {
+		t.Fatalf("panicking job ended %q, want failed", j.State)
+	}
+	if !strings.Contains(j.Error, "panicked") || !strings.Contains(j.Error, "agent factory exploded") {
+		t.Fatalf("failed job error %q does not carry the panic", j.Error)
+	}
+	if got := s.Stats().PanicsRecovered; got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+	if r := s.Readiness(); !r.Ready || r.Workers != 1 {
+		t.Fatalf("service not ready after recovered panic: %+v", r)
+	}
+
+	// The pool is still alive: an ordinary job completes.
+	j2, err := s.Submit(ringSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 = waitTerminal(t, s, j2.ID)
+	if j2.State != StateDone {
+		t.Fatalf("follow-up job ended %q (err %q), want done", j2.State, j2.Error)
+	}
+}
+
+func TestTransientRetrySucceeds(t *testing.T) {
+	calls := 0
+	runner := func(ctx context.Context, c *job.Compiled, obs engine.Observer) (*job.Result, error) {
+		calls++
+		if calls <= 2 {
+			return nil, fmt.Errorf("%w: backend hiccup %d", ErrTransient, calls)
+		}
+		return job.Run(ctx, c, obs)
+	}
+	s := New(Config{Workers: 1, Runner: runner, MaxRetries: 3, RetryBase: time.Millisecond})
+	defer s.Close()
+
+	j, err := s.Submit(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateDone {
+		t.Fatalf("job ended %q (err %q), want done after retries", j.State, j.Error)
+	}
+	if calls != 3 {
+		t.Fatalf("runner called %d times, want 3", calls)
+	}
+	if got := s.Stats().Retries; got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+}
+
+func TestTransientRetryExhausted(t *testing.T) {
+	runner := func(context.Context, *job.Compiled, engine.Observer) (*job.Result, error) {
+		return nil, fmt.Errorf("%w: always down", ErrTransient)
+	}
+	s := New(Config{Workers: 1, Runner: runner, MaxRetries: 2, RetryBase: time.Millisecond})
+	defer s.Close()
+
+	j, err := s.Submit(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateFailed || !strings.Contains(j.Error, "transient") {
+		t.Fatalf("job ended %q (err %q), want failed with transient error", j.State, j.Error)
+	}
+	if got := s.Stats().Retries; got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+}
+
+func TestRetriesDisabled(t *testing.T) {
+	calls := 0
+	runner := func(context.Context, *job.Compiled, engine.Observer) (*job.Result, error) {
+		calls++
+		return nil, fmt.Errorf("%w: nope", ErrTransient)
+	}
+	s := New(Config{Workers: 1, Runner: runner, MaxRetries: -1})
+	defer s.Close()
+
+	j, err := s.Submit(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateFailed || calls != 1 {
+		t.Fatalf("state %q after %d calls, want failed after exactly 1", j.State, calls)
+	}
+}
+
+func TestReadinessSaturationAndClose(t *testing.T) {
+	release := make(chan struct{})
+	runner := func(ctx context.Context, c *job.Compiled, obs engine.Observer) (*job.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return job.Run(ctx, c, obs)
+	}
+	s := New(Config{Workers: 1, QueueDepth: 1, CacheSize: -1, Runner: runner})
+
+	if r := s.Readiness(); !r.Ready {
+		t.Fatalf("fresh service not ready: %+v", r)
+	}
+
+	// One job running, one saturating the depth-1 queue.
+	first, err := s.Submit(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+	if _, err := s.Submit(ringSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Readiness()
+	if r.Ready || r.Reason != "queue full" || r.Queued != 1 || r.QueueDepth != 1 {
+		t.Fatalf("saturated service readiness %+v, want not ready, queue full", r)
+	}
+
+	close(release)
+	s.Close()
+	r = s.Readiness()
+	if r.Ready || r.Reason != "closed" || r.Workers != 0 {
+		t.Fatalf("closed service readiness %+v, want not ready, closed, no workers", r)
+	}
+}
+
+func waitTerminal(t *testing.T, s *Service, id string) *Job {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		j, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State.Terminal() {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return nil
+}

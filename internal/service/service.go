@@ -12,10 +12,12 @@ import (
 	"expvar"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"anonnet/internal/engine"
 	"anonnet/internal/job"
 	"anonnet/internal/model"
 )
@@ -35,6 +37,12 @@ var (
 	// ErrBatchTooLarge is returned by SubmitBatch for a batch over
 	// MaxBatchSize specs.
 	ErrBatchTooLarge = errors.New("service: batch too large")
+	// ErrTransient marks a runner failure as retryable: a runner error
+	// wrapping ErrTransient is re-executed up to MaxRetries times with
+	// exponential backoff before the job is declared failed. The built-in
+	// job.Run never returns it; injected runners (remote backends, tests)
+	// use it to signal "try again".
+	ErrTransient = errors.New("service: transient error")
 )
 
 // MaxBatchSize bounds the number of specs in one SubmitBatch call — a
@@ -56,6 +64,16 @@ type Config struct {
 	// ProgressEvery publishes a progress event every k rounds (default 1:
 	// every round).
 	ProgressEvery int
+	// Runner executes one compiled job (default job.Run). Injection point
+	// for tests and alternative backends; a Runner that panics is recovered
+	// into a failed job, never a dead worker.
+	Runner func(ctx context.Context, c *job.Compiled, obs engine.Observer) (*job.Result, error)
+	// MaxRetries bounds re-executions of a job whose runner failed with an
+	// error wrapping ErrTransient (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBase is the backoff before the first retry, doubling on each
+	// subsequent one (default 50ms).
+	RetryBase time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +91,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProgressEvery <= 0 {
 		c.ProgressEvery = 1
+	}
+	if c.Runner == nil {
+		c.Runner = job.Run
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
 	}
 	return c
 }
@@ -151,6 +181,8 @@ type Stats struct {
 	Canceled        int64 `json:"canceled"`
 	CacheHits       int64 `json:"cache_hits"`
 	RoundsSimulated int64 `json:"rounds_simulated"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	Retries         int64 `json:"retries"`
 	Queued          int   `json:"queued"`
 	Running         int   `json:"running"`
 	CacheEntries    int   `json:"cache_entries"`
@@ -173,13 +205,16 @@ type Service struct {
 	queue chan *entry
 	wg    sync.WaitGroup
 
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	cacheHits atomic.Int64
-	rounds    atomic.Int64
-	running   atomic.Int64
+	submitted    atomic.Int64
+	completed    atomic.Int64
+	failed       atomic.Int64
+	canceled     atomic.Int64
+	cacheHits    atomic.Int64
+	rounds       atomic.Int64
+	running      atomic.Int64
+	panics       atomic.Int64
+	retries      atomic.Int64
+	workersAlive atomic.Int64
 }
 
 // Global expvar mirror: one "anonnetd" map shared by every Service in the
@@ -187,6 +222,7 @@ type Service struct {
 var (
 	expOnce                                                                            sync.Once
 	expSubmitted, expCompleted, expFailed, expCanceled, expHits, expRounds, expRunning *expvar.Int
+	expPanics, expRetries                                                              *expvar.Int
 )
 
 func publishExpvars() {
@@ -204,6 +240,8 @@ func publishExpvars() {
 		expHits = reg("cache_hits")
 		expRounds = reg("rounds_simulated")
 		expRunning = reg("jobs_running")
+		expPanics = reg("panics_recovered")
+		expRetries = reg("retries")
 	})
 }
 
@@ -220,6 +258,7 @@ func New(cfg Config) *Service {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
+		s.workersAlive.Add(1)
 		go s.worker()
 	}
 	return s
@@ -494,11 +533,56 @@ func (s *Service) Stats() Stats {
 		Canceled:        s.canceled.Load(),
 		CacheHits:       s.cacheHits.Load(),
 		RoundsSimulated: s.rounds.Load(),
+		PanicsRecovered: s.panics.Load(),
+		Retries:         s.retries.Load(),
 		Queued:          queued,
 		Running:         int(s.running.Load()),
 		CacheEntries:    cacheLen,
 		Workers:         s.cfg.Workers,
 	}
+}
+
+// Readiness is a point-in-time health verdict for load balancers and
+// probes: Ready means a Submit issued now would be accepted and a worker
+// will eventually pick it up.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// Reason explains a not-ready verdict ("closed", "no live workers",
+	// "queue full").
+	Reason string `json:"reason,omitempty"`
+	// Queued and QueueDepth report queue saturation; clients seeing
+	// Queued near QueueDepth should back off before Submit fails.
+	Queued     int `json:"queued"`
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	// Workers counts live pool goroutines (panic recovery keeps this at
+	// the configured pool size; 0 means the pool is gone).
+	Workers int `json:"workers"`
+}
+
+// Readiness reports whether the service can accept work right now.
+func (s *Service) Readiness() Readiness {
+	s.mu.Lock()
+	closed := s.closed
+	queued := len(s.queue)
+	s.mu.Unlock()
+	r := Readiness{
+		Queued:     queued,
+		QueueDepth: s.cfg.QueueDepth,
+		Running:    int(s.running.Load()),
+		Workers:    int(s.workersAlive.Load()),
+	}
+	switch {
+	case closed:
+		r.Reason = "closed"
+	case r.Workers == 0:
+		r.Reason = "no live workers"
+	case queued >= s.cfg.QueueDepth:
+		r.Reason = "queue full"
+	default:
+		r.Ready = true
+	}
+	return r
 }
 
 // Close stops intake and drains: every already-queued job still runs to
@@ -517,6 +601,7 @@ func (s *Service) Close() {
 // worker is one pool goroutine: it pops jobs until the queue closes.
 func (s *Service) worker() {
 	defer s.wg.Done()
+	defer s.workersAlive.Add(-1)
 	for e := range s.queue {
 		s.runOne(e)
 	}
@@ -567,7 +652,7 @@ func (s *Service) runOne(e *entry) {
 			MaxErr:  job.F64(maxErr),
 		})
 	}
-	res, err := job.Run(ctx, e.compiled, obs)
+	res, err := s.execute(ctx, e, obs)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -591,6 +676,45 @@ func (s *Service) runOne(e *entry) {
 		expFailed.Add(1)
 	}
 	s.finishLocked(e)
+}
+
+// execute runs one job through the configured runner with panic recovery
+// and bounded exponential-backoff retries for errors wrapping
+// ErrTransient. A retried job replays its progress stream from round 1.
+func (s *Service) execute(ctx context.Context, e *entry, obs engine.Observer) (*job.Result, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := s.safeRun(ctx, e, obs)
+		if err == nil || !errors.Is(err, ErrTransient) || attempt >= s.cfg.MaxRetries {
+			return res, err
+		}
+		s.retries.Add(1)
+		expRetries.Add(1)
+		backoff := s.cfg.RetryBase << uint(attempt)
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// safeRun invokes the runner, converting a panic — a buggy agent, a buggy
+// injected runner — into an ordinary failed-job error carrying the panic
+// value and stack. The worker goroutine survives; the service keeps
+// serving. (The sequential engine deliberately propagates agent panics;
+// this is where they stop.)
+func (s *Service) safeRun(ctx context.Context, e *entry, obs engine.Observer) (res *job.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			expPanics.Add(1)
+			res = nil
+			err = fmt.Errorf("service: job %s panicked: %v\n%s", e.id, r, debug.Stack())
+		}
+	}()
+	return s.cfg.Runner(ctx, e.compiled, obs)
 }
 
 // publish fans an event out to e's subscribers, dropping events a slow
