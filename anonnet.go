@@ -34,8 +34,12 @@
 //	fmt.Println(res.Outputs[0]) // 3.875, at every agent
 //
 // Compute takes functional options: WithEngine(Sequential|Concurrent|
-// Sharded) selects the runner (the sharded engine scales to thousands of
-// agents), WithOnRound streams per-round progress, WithPatience /
+// Sharded|Vectorized) selects the runner (the sharded engine scales to
+// thousands of agents; the vectorized kernel runs linear mass-passing
+// algorithms over flat float64 buffers with zero steady-state allocations,
+// falling back to the sequential engine — identical traces — for
+// algorithms it cannot express), WithOnRound streams per-round progress,
+// WithPatience /
 // WithMaxRounds tune stabilization detection, and WithFaults injects
 // seeded deterministic faults (message drop/dup/delay, agent
 // stall/crash-restart, link churn).
@@ -48,6 +52,7 @@ package anonnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"anonnet/internal/core"
@@ -246,6 +251,17 @@ var (
 	// NewShardedEngine returns the sharded batch engine (shards ≤ 0 means
 	// one per core).
 	NewShardedEngine = engine.NewSharded
+	// NewVectorizedEngine returns the zero-allocation vectorized kernel
+	// for linear mass-passing algorithms; it fails with
+	// ErrNotVectorizable when the algorithm does not implement the vector
+	// contract (model.VectorAgent).
+	NewVectorizedEngine = engine.NewVectorized
+	// ErrNotVectorizable reports a config the vectorized kernel cannot
+	// run; check it with errors.Is.
+	ErrNotVectorizable = engine.ErrNotVectorizable
+	// CanVectorize probes whether a config is runnable by the vectorized
+	// kernel.
+	CanVectorize = engine.CanVectorize
 	// RunUntilStable detects exact stabilization (discrete metric).
 	RunUntilStable = engine.RunUntilStable
 	// RunUntilClose detects ε-agreement with a known target.
@@ -257,7 +273,7 @@ var (
 // Deterministic fault injection (the faultnet subsystem). A FaultPlan
 // composes message drop/duplication/delay, agent stall and crash-restart,
 // and link churn; every decision is a pure hash of (seed, round,
-// participants), so equal seeds and plans give equal traces on all three
+// participants), so equal seeds and plans give equal traces on all four
 // engines, and a zero plan is bit-identical to no plan at all.
 type (
 	// FaultPlan describes the fault channels of one execution.
@@ -293,10 +309,10 @@ func MarkLeaders(in []Input, leaders ...int) []Input {
 	return out
 }
 
-// EngineKind selects one of the three round engines behind Compute.
+// EngineKind selects one of the four round engines behind Compute.
 type EngineKind int
 
-// The three engines. All produce identical traces for equal inputs (the
+// The four engines. All produce identical traces for equal inputs (the
 // A2 property tests assert it); they differ only in how the rounds are
 // scheduled onto the hardware.
 const (
@@ -308,6 +324,11 @@ const (
 	// through preallocated shard-to-shard buffers; the fastest engine for
 	// large n.
 	Sharded
+	// Vectorized executes linear mass-passing algorithms over flat
+	// float64 buffers with zero steady-state allocations; algorithms that
+	// do not implement the vector contract fall back to the sequential
+	// engine, whose traces the kernel reproduces byte for byte.
+	Vectorized
 )
 
 // String names the engine as the job-spec JSON does.
@@ -319,6 +340,8 @@ func (e EngineKind) String() string {
 		return "conc"
 	case Sharded:
 		return "shard"
+	case Vectorized:
+		return "vec"
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(e))
 	}
@@ -491,6 +514,11 @@ func Compute(ctx context.Context, spec Spec, opts ...Option) (*ComputeResult, er
 		r, err = engine.NewConcurrent(cfg)
 	case Sharded:
 		r, err = engine.NewSharded(cfg, cc.shards)
+	case Vectorized:
+		r, err = engine.NewVectorized(cfg)
+		if errors.Is(err, engine.ErrNotVectorizable) {
+			r, err = engine.New(cfg)
+		}
 	default:
 		return nil, fmt.Errorf("anonnet: unknown engine %v", cc.engine)
 	}

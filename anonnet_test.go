@@ -54,7 +54,10 @@ func TestComputeEngineOption(t *testing.T) {
 	seq := run(anonnet.WithEngine(anonnet.Sequential))
 	con := run(anonnet.WithEngine(anonnet.Concurrent))
 	shd := run(anonnet.WithEngine(anonnet.Sharded), anonnet.WithShards(3))
-	for _, other := range []*anonnet.ComputeResult{con, shd} {
+	// The static minbase pipeline is not vectorizable, so Vectorized
+	// exercises the silent fallback — still byte-identical to seq.
+	vec := run(anonnet.WithEngine(anonnet.Vectorized))
+	for _, other := range []*anonnet.ComputeResult{con, shd, vec} {
 		if seq.Rounds != other.Rounds || seq.StabilizedAt != other.StabilizedAt {
 			t.Fatalf("engines disagree: seq %+v vs %+v", seq, other)
 		}
@@ -62,6 +65,40 @@ func TestComputeEngineOption(t *testing.T) {
 			if seq.Outputs[i] != other.Outputs[i] {
 				t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], other.Outputs[i])
 			}
+		}
+	}
+}
+
+// TestComputeVectorizedKernel runs the facade on a workload the kernel
+// actually accepts (dynamic Push-Sum is a model.VectorAgent), so no
+// fallback: the flat-buffer engine itself must match the sequential one.
+func TestComputeVectorizedKernel(t *testing.T) {
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: false, Row: anonnet.RowNoHelp}
+	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...anonnet.Option) *anonnet.ComputeResult {
+		opts = append(opts, anonnet.WithSeed(7), anonnet.WithMaxRounds(2000))
+		res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+			Factory:  factory,
+			Schedule: &anonnet.SplitRing{Vertices: 8},
+			Inputs:   anonnet.Inputs(3, 1, 4, 1, 5, 9, 2, 6),
+			Kind:     setting.Kind,
+		}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(anonnet.WithEngine(anonnet.Sequential))
+	vec := run(anonnet.WithEngine(anonnet.Vectorized))
+	if seq.Rounds != vec.Rounds || seq.StabilizedAt != vec.StabilizedAt {
+		t.Fatalf("engines disagree: seq %+v vs vec %+v", seq, vec)
+	}
+	for i := range seq.Outputs {
+		if seq.Outputs[i] != vec.Outputs[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], vec.Outputs[i])
 		}
 	}
 }

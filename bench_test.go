@@ -3,7 +3,7 @@
 // a table cell to output stabilization and reports the measured
 // stabilization round alongside the wall-clock numbers; the figure
 // benchmarks sweep the paper's rate claims; the ablation benchmarks compare
-// the three kernel-solve variants of §4.2/§4.3 and the two engines.
+// the three kernel-solve variants of §4.2/§4.3 and the four engines.
 package anonnet_test
 
 import (
@@ -102,6 +102,7 @@ func BenchmarkTable1(b *testing.B) {
 	for _, kind := range kinds {
 		for _, row := range core.Rows() {
 			b.Run(fmt.Sprintf("%v/%v", kind, row), func(b *testing.B) {
+				b.ReportAllocs()
 				rounds := 0
 				for i := 0; i < b.N; i++ {
 					rounds = runCell(b, kind, row, true, 6, int64(i))
@@ -130,6 +131,7 @@ func BenchmarkTable2(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(fmt.Sprintf("%v/%v", c.kind, c.row), func(b *testing.B) {
+			b.ReportAllocs()
 			rounds := 0
 			for i := 0; i < b.N; i++ {
 				rounds = runCell(b, c.kind, c.row, false, 6, int64(i))
@@ -143,6 +145,7 @@ func BenchmarkTable2(b *testing.B) {
 // the ring fibration witness and the broadcast set ceiling.
 func BenchmarkTable1Impossibility(b *testing.B) {
 	b.Run("ring-witness", func(b *testing.B) {
+		b.ReportAllocs()
 		factory, err := core.NewFactory(funcs.Average(),
 			core.Setting{Kind: model.OutdegreeAware, Static: true, Row: core.RowNoHelp})
 		if err != nil {
@@ -157,6 +160,7 @@ func BenchmarkTable1Impossibility(b *testing.B) {
 		}
 	})
 	b.Run("broadcast-ceiling", func(b *testing.B) {
+		b.ReportAllocs()
 		factory, err := core.NewFactory(funcs.Max(),
 			core.Setting{Kind: model.SimpleBroadcast, Static: true, Row: core.RowNoHelp})
 		if err != nil {
@@ -177,6 +181,7 @@ func BenchmarkPushSumConvergence(b *testing.B) {
 	for _, n := range []int{4, 8, 16} {
 		for _, eps := range []float64{1e-4, 1e-8} {
 			b.Run(fmt.Sprintf("n=%d/eps=%.0e", n, eps), func(b *testing.B) {
+				b.ReportAllocs()
 				rounds := 0
 				for i := 0; i < b.N; i++ {
 					inputs := make([]model.Input, n)
@@ -214,6 +219,7 @@ func BenchmarkPushSumConvergence(b *testing.B) {
 func BenchmarkMinBaseStabilization(b *testing.B) {
 	for _, n := range []int{4, 8, 16} {
 		b.Run(fmt.Sprintf("ring/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			measured := 0
 			for i := 0; i < b.N; i++ {
 				factory, err := freqcalc.NewFactory(model.OutdegreeAware, funcs.Average(), freqcalc.None)
@@ -246,6 +252,7 @@ func BenchmarkMinBaseStabilization(b *testing.B) {
 func BenchmarkMetropolis(b *testing.B) {
 	for _, n := range []int{4, 8, 16} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rounds := 0
 			for i := 0; i < b.N; i++ {
 				rounds = runMetropolisOnce(b, n, int64(i))
@@ -292,6 +299,7 @@ func BenchmarkExactRounding(b *testing.B) {
 	n := 6
 	for _, bound := range []int{6, 24} {
 		b.Run(fmt.Sprintf("N=%d", bound), func(b *testing.B) {
+			b.ReportAllocs()
 			stabilized := 0
 			for i := 0; i < b.N; i++ {
 				factory, err := pushsum.NewFrequencyFactory(pushsum.FrequencyConfig{
@@ -337,6 +345,7 @@ func BenchmarkKernelVariants(b *testing.B) {
 		D:      [][]int{{1, 1}, {1, 1}},
 	}
 	b.Run("outdegree-gaussian", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := freqcalc.SolveOutdegree(base); err != nil {
 				b.Fatal(err)
@@ -344,6 +353,7 @@ func BenchmarkKernelVariants(b *testing.B) {
 		}
 	})
 	b.Run("symmetric-spanning-tree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := freqcalc.SolveSymmetric(base); err != nil {
 				b.Fatal(err)
@@ -351,6 +361,7 @@ func BenchmarkKernelVariants(b *testing.B) {
 		}
 	})
 	b.Run("ports-constant", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := freqcalc.SolvePorts(cover); err != nil {
 				b.Fatal(err)
@@ -359,11 +370,12 @@ func BenchmarkKernelVariants(b *testing.B) {
 	})
 }
 
-// BenchmarkEngines is the A2 ablation: the three round engines on the same
+// BenchmarkEngines is the A2 ablation: the four round engines on the same
 // small workload through the public options API.
 func BenchmarkEngines(b *testing.B) {
 	mk := func(eng anonnet.EngineKind) func(*testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
 			factory, err := anonnet.NewFactory(anonnet.Average(), setting)
 			if err != nil {
@@ -385,6 +397,7 @@ func BenchmarkEngines(b *testing.B) {
 	b.Run("sequential", mk(anonnet.Sequential))
 	b.Run("concurrent", mk(anonnet.Concurrent))
 	b.Run("sharded", mk(anonnet.Sharded))
+	b.Run("vectorized", mk(anonnet.Vectorized))
 }
 
 // shardedBenchRounds is the fixed round budget of the sharded-engine
@@ -392,28 +405,16 @@ func BenchmarkEngines(b *testing.B) {
 // full family stays in benchtime.
 const shardedBenchRounds = 50
 
-// runEngineRounds drives runner construction + a fixed number of rounds,
-// the inner loop of the BenchmarkEngineSharded family.
-func runEngineRounds(b *testing.B, mk func() (engine.Runner, error), rounds int) {
-	b.Helper()
-	r, err := mk()
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer r.Close()
-	for t := 0; t < rounds; t++ {
-		if err := r.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkEngineSharded compares the sharded engine against the sequential
-// and concurrent ones on Push-Sum over rings of growing size. Push-Sum
-// keeps every agent busy every round, so the family isolates the per-round
-// engine overhead: goroutine-per-agent channel hops (concurrent) vs CSR
-// shard delivery (sharded). The committed BENCH_engine.json is generated
-// from this family by cmd/benchreport.
+// BenchmarkEngineSharded compares the sharded and vectorized engines
+// against the sequential and concurrent ones on Push-Sum over rings of
+// growing size. Push-Sum keeps every agent busy every round, and each
+// engine is constructed and warmed up outside the timer, so an op is
+// exactly shardedBenchRounds steady-state rounds: the family isolates the
+// per-round engine overhead — goroutine-per-agent channel hops
+// (concurrent) vs CSR shard delivery (sharded) vs the flat-buffer
+// scatter-add of the vectorized kernel — and the allocs/op column records
+// what the round loop allocates (zero, for vec). The committed
+// BENCH_engine.json is generated from this workload by cmd/benchreport.
 func BenchmarkEngineSharded(b *testing.B) {
 	engines := []struct {
 		name string
@@ -422,6 +423,7 @@ func BenchmarkEngineSharded(b *testing.B) {
 		{"seq", func(cfg engine.Config) (engine.Runner, error) { return engine.New(cfg) }},
 		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
 		{"shard", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 0) }},
+		{"vec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewVectorized(cfg) }},
 	}
 	for _, n := range []int{16, 64, 256, 1024} {
 		inputs := make([]model.Input, n)
@@ -430,19 +432,73 @@ func BenchmarkEngineSharded(b *testing.B) {
 		}
 		for _, eng := range engines {
 			b.Run(fmt.Sprintf("%s/n=%d", eng.name, n), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					cfg := engine.Config{
-						Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
-						Kind:     model.OutdegreeAware,
-						Inputs:   inputs,
-						Factory:  pushsum.NewAverageFactory(),
-						Seed:     int64(i),
+				b.ReportAllocs()
+				r, err := eng.mk(engine.Config{
+					Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
+					Kind:     model.OutdegreeAware,
+					Inputs:   inputs,
+					Factory:  pushsum.NewAverageFactory(),
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer r.Close()
+				for t := 0; t < 3; t++ { // warm-up: grow every reusable buffer
+					if err := r.Step(); err != nil {
+						b.Fatal(err)
 					}
-					runEngineRounds(b, func() (engine.Runner, error) { return eng.mk(cfg) }, shardedBenchRounds)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for t := 0; t < shardedBenchRounds; t++ {
+						if err := r.Step(); err != nil {
+							b.Fatal(err)
+						}
+					}
 				}
 				b.ReportMetric(float64(shardedBenchRounds), "rounds/op")
 			})
 		}
+	}
+}
+
+// BenchmarkVecRound measures the vectorized kernel's steady-state round
+// loop alone: the engine is constructed and warmed up outside the timer,
+// so every timed op is exactly one Step on reused buffers. The CI
+// bench-smoke job fails when this benchmark reports a nonzero allocs/op —
+// the zero-allocation claim of the vec engine, kept honest by the gate.
+func BenchmarkVecRound(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("pushsum/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			inputs := make([]model.Input, n)
+			for j := range inputs {
+				inputs[j] = model.Input{Value: float64(j % 31)}
+			}
+			v, err := engine.NewVectorized(engine.Config{
+				Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
+				Kind:     model.OutdegreeAware,
+				Inputs:   inputs,
+				Factory:  pushsum.NewAverageFactory(),
+				Seed:     1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer v.Close()
+			for t := 0; t < 3; t++ { // warm-up: grow every reusable buffer
+				if err := v.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := v.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -451,6 +507,7 @@ func BenchmarkEngineSharded(b *testing.B) {
 func BenchmarkGossipFlooding(b *testing.B) {
 	for _, n := range []int{8, 32, 128} {
 		b.Run(fmt.Sprintf("ring/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			factory, err := core.NewFactory(funcs.Max(),
 				core.Setting{Kind: model.SimpleBroadcast, Static: true, Row: core.RowNoHelp})
 			if err != nil {
@@ -508,6 +565,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		}
 	}
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		svc := service.New(service.Config{QueueDepth: b.N + 1, CacheSize: -1, ProgressEvery: 1 << 30})
 		defer svc.Close()
 		b.ResetTimer()
@@ -520,6 +578,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 	})
 	b.Run("cachehit", func(b *testing.B) {
+		b.ReportAllocs()
 		svc := service.New(service.Config{QueueDepth: b.N + 1, ProgressEvery: 1 << 30})
 		defer svc.Close()
 		if _, err := svc.Submit(spec(0)); err != nil {

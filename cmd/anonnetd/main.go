@@ -49,6 +49,7 @@ func run() error {
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
 		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight jobs are canceled")
 		every   = flag.Int("every", 1, "publish stream progress every k rounds")
+		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func run() error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(svc),
+		Handler:           newMux(svc, *pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

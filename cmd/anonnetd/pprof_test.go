@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"anonnet/internal/service"
+)
+
+// TestPprofDisabledByDefault asserts the profiling endpoints are absent
+// unless opted into: a mux built without -pprof must 404 every
+// /debug/pprof path while still serving the rest of the debug surface.
+func TestPprofDisabledByDefault(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1, QueueDepth: 4})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without -pprof → %d, want 404", path, resp.StatusCode)
+		}
+	}
+	// The expvar endpoint is unconditional — disabling pprof must not
+	// take the rest of /debug with it.
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/vars → %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPprofEnabled asserts the opt-in path: with pprof on, the index lists
+// the profiles and the named profiles serve.
+func TestPprofEnabled(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(newMux(svc, true))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ with pprof on → %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list the goroutine profile:\n%s", body)
+	}
+	for _, path := range []string{"/debug/pprof/heap", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with pprof on → %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

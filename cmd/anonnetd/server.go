@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"anonnet/internal/job"
@@ -37,11 +38,17 @@ type server struct {
 //	GET    /v1/readyz           readiness (503 + Retry-After when shedding)
 //	GET    /healthz             liveness
 //	GET    /debug/vars          expvar (includes the anonnetd map)
+//	GET    /debug/pprof/…       runtime profiles — only with enablePprof
 //
 // The historical unversioned paths (/jobs…, /stats) answer 301 to their
 // /v1/ form. Errors share one problem-details shape:
 // {"code": ..., "message": ..., "detail": ...}.
-func newMux(svc *service.Service) *http.ServeMux {
+//
+// enablePprof mounts the net/http/pprof endpoints (CPU, heap, goroutine,
+// …) under /debug/pprof/. It is off by default — profiles expose internals
+// and cost CPU while sampling — and opted into with the -pprof flag when
+// diagnosing a live daemon; without it the paths 404.
+func newMux(svc *service.Service, enablePprof bool) *http.ServeMux {
 	s := &server{svc: svc, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -55,6 +62,13 @@ func newMux(svc *service.Service) *http.ServeMux {
 	mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	// Pre-versioning clients used the bare paths; point them at /v1/
 	// permanently rather than serving two surfaces.
 	mux.HandleFunc("/jobs", redirectV1)

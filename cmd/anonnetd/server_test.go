@@ -18,7 +18,7 @@ import (
 func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(cfg)
-	ts := httptest.NewServer(newMux(svc))
+	ts := httptest.NewServer(newMux(svc, false))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.CancelAll()
@@ -378,5 +378,60 @@ func TestUnversionedAliases(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || decErr != nil {
 		t.Fatalf("followed /stats → %d (%v)", resp.StatusCode, decErr)
+	}
+}
+
+// TestEndToEndVecEngine round-trips the schema-v4 "engine": "vec" field
+// through the v1 API: the vectorized job completes, hashes distinctly from
+// the engine-less spelling (separate cache entries), and — because the
+// kernel reproduces the sequential traces byte for byte — produces the
+// exact same outputs.
+func TestEndToEndVecEngine(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+
+	const body = `{
+	  "graph": {"builder": "splitring", "n": 8},
+	  "kind": "od",
+	  "function": "average",
+	  "seed": 3,
+	  "max_rounds": 2000%s
+	}`
+	vecSpec := fmt.Sprintf(body, `, "schema_version": 4, "engine": "vec"`)
+	seqSpec := fmt.Sprintf(body, ``)
+
+	jVec, code := postJob(t, ts, vecSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("vec submission → %d, want 202", code)
+	}
+	jSeq, code := postJob(t, ts, seqSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("seq submission → %d, want 202 (distinct cache entry)", code)
+	}
+	if jVec.Hash == jSeq.Hash {
+		t.Fatalf("engine=vec did not change the spec hash: %s", jVec.Hash)
+	}
+
+	vec := waitDone(t, ts, jVec.ID)
+	seq := waitDone(t, ts, jSeq.ID)
+	if vec.State != service.StateDone || vec.Result == nil {
+		t.Fatalf("vec job finished %q: %+v", vec.State, vec.Error)
+	}
+	if seq.State != service.StateDone || seq.Result == nil {
+		t.Fatalf("seq job finished %q: %+v", seq.State, seq.Error)
+	}
+	// The canonical spec the service echoes back keeps the engine field.
+	if vec.Spec.Engine != "vec" {
+		t.Fatalf("canonical spec engine = %q, want \"vec\"", vec.Spec.Engine)
+	}
+	if vec.Result.Rounds != seq.Result.Rounds {
+		t.Fatalf("rounds: vec %d, seq %d", vec.Result.Rounds, seq.Result.Rounds)
+	}
+	if len(vec.Result.Outputs) != len(seq.Result.Outputs) {
+		t.Fatalf("output lengths differ: %d vs %d", len(vec.Result.Outputs), len(seq.Result.Outputs))
+	}
+	for i := range vec.Result.Outputs {
+		if vec.Result.Outputs[i] != seq.Result.Outputs[i] {
+			t.Fatalf("output %d: vec %v, seq %v", i, vec.Result.Outputs[i], seq.Result.Outputs[i])
+		}
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -48,6 +49,7 @@ func run() error {
 		every      = flag.Int("every", 0, "print outputs every k rounds (0: only the final)")
 		seed       = flag.Int64("seed", 1, "RNG seed")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-agent engine")
+		engineFlag = flag.String("engine", "", "round engine: seq, conc, shard, vec (vec falls back to seq when the algorithm is not vectorizable)")
 		dot        = flag.Bool("dot", false, "print the round-1 network in Graphviz dot format and exit")
 
 		dropP    = flag.Float64("drop", 0, "fault: per-message drop probability")
@@ -139,12 +141,7 @@ func run() error {
 	if injector != nil {
 		cfg.Faults = injector
 	}
-	var r engine.Runner
-	if *concurrent {
-		r, err = engine.NewConcurrent(cfg)
-	} else {
-		r, err = engine.New(cfg)
-	}
+	r, err := newRunner(cfg, *engineFlag, *concurrent)
 	if err != nil {
 		return err
 	}
@@ -177,6 +174,33 @@ func run() error {
 			st.Faults.Dropped, st.Faults.Duplicated, st.Faults.Delayed)
 	}
 	return nil
+}
+
+// newRunner selects the round engine. The -engine flag wins; the legacy
+// -concurrent flag keeps working when -engine is unset. engine=vec falls
+// back to the sequential engine — byte-identical traces — when the
+// algorithm does not implement the vector contract.
+func newRunner(cfg engine.Config, name string, concurrent bool) (engine.Runner, error) {
+	if name == "" && concurrent {
+		name = "conc"
+	}
+	switch strings.ToLower(name) {
+	case "", "seq", "sequential":
+		return engine.New(cfg)
+	case "conc", "concurrent":
+		return engine.NewConcurrent(cfg)
+	case "shard", "sharded":
+		return engine.NewSharded(cfg, 0)
+	case "vec", "vectorized":
+		r, err := engine.NewVectorized(cfg)
+		if errors.Is(err, engine.ErrNotVectorizable) {
+			fmt.Println("engine:  vec requested but the algorithm is not vectorizable; using seq (identical traces)")
+			return engine.New(cfg)
+		}
+		return r, err
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want seq, conc, shard, or vec)", name)
+	}
 }
 
 func expectedValue(f funcs.Func, inputs []model.Input) float64 {

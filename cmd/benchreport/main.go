@@ -1,16 +1,22 @@
 // Command benchreport regenerates BENCH_engine.json, the committed record
-// of the three-engine Push-Sum benchmark (the same workload as the
-// BenchmarkEngineSharded family in bench_test.go): 50 rounds of Push-Sum
-// average on a bidirectional ring, for each engine (sequential, concurrent,
-// sharded) at each size n ∈ {16, 64, 256, 1024}. Timings come from
-// testing.Benchmark, so iteration counts auto-scale to the benchtime.
+// of the four-engine Push-Sum benchmark (the same workload as the
+// BenchmarkEngineSharded family in bench_test.go): 50 steady-state rounds
+// of Push-Sum average on a bidirectional ring, for each engine (sequential,
+// concurrent, sharded, vectorized) at each size n ∈ {16, 64, 256, 1024}.
+// Each engine is constructed and warmed up outside the timed region, so an
+// op is exactly 50 rounds of the warm round loop — the per-round engine
+// overhead the family exists to isolate — and the allocs_per_op /
+// bytes_per_op columns record what that loop allocates (zero, for the
+// vectorized kernel). Timings come from testing.Benchmark, so iteration
+// counts auto-scale to the benchtime.
 //
 // Usage:
 //
 //	go run ./cmd/benchreport [-o BENCH_engine.json] [-benchtime 1s]
 //
-// The report also derives shard-vs-concurrent and shard-vs-sequential
-// speedups per size; the headline number is the n=256 shard/conc ratio.
+// The report also derives shard-vs-sequential, shard-vs-concurrent, and
+// vec-vs-sequential speedups per size; the headline numbers are the n=256
+// shard/conc ratio and the n=1024 vec/seq ratio.
 package main
 
 import (
@@ -34,19 +40,25 @@ import (
 // numbers and the `go test -bench=EngineSharded` numbers are comparable.
 const benchRounds = 50
 
+// warmupRounds grows every reusable buffer before the timer starts.
+const warmupRounds = 3
+
 type measurement struct {
-	Engine     string  `json:"engine"`
-	N          int     `json:"n"`
-	Rounds     int     `json:"rounds"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    int64   `json:"ns_per_op"`
-	MsPerOp    float64 `json:"ms_per_op"`
+	Engine      string  `json:"engine"`
+	N           int     `json:"n"`
+	Rounds      int     `json:"rounds"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 type speedup struct {
 	N          int     `json:"n"`
 	ShardVsSeq float64 `json:"shard_vs_seq"`
 	ShardVsCon float64 `json:"shard_vs_conc"`
+	VecVsSeq   float64 `json:"vec_vs_seq"`
 }
 
 type report struct {
@@ -65,23 +77,30 @@ func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) testing.Ben
 		inputs[j] = model.Input{Value: float64(j % 31)}
 	}
 	return testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			r, err := mk(engine.Config{
-				Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
-				Kind:     model.OutdegreeAware,
-				Inputs:   inputs,
-				Factory:  pushsum.NewAverageFactory(),
-				Seed:     int64(i),
-			})
-			if err != nil {
+		b.ReportAllocs()
+		r, err := mk(engine.Config{
+			Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
+			Kind:     model.OutdegreeAware,
+			Inputs:   inputs,
+			Factory:  pushsum.NewAverageFactory(),
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		for t := 0; t < warmupRounds; t++ {
+			if err := r.Step(); err != nil {
 				b.Fatal(err)
 			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
 			for t := 0; t < benchRounds; t++ {
 				if err := r.Step(); err != nil {
 					b.Fatal(err)
 				}
 			}
-			r.Close()
 		}
 	})
 }
@@ -103,11 +122,12 @@ func main() {
 		{"seq", func(cfg engine.Config) (engine.Runner, error) { return engine.New(cfg) }},
 		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
 		{"shard", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 0) }},
+		{"vec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewVectorized(cfg) }},
 	}
 	sizes := []int{16, 64, 256, 1024}
 
 	rep := report{
-		Workload:    fmt.Sprintf("pushsum average, bidirectional ring, %d rounds, outdegree-aware", benchRounds),
+		Workload:    fmt.Sprintf("pushsum average, bidirectional ring, %d steady-state rounds (construction and warm-up untimed), outdegree-aware", benchRounds),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -121,14 +141,17 @@ func main() {
 			ns := res.NsPerOp()
 			perOp[eng.name][n] = ns
 			rep.Measurements = append(rep.Measurements, measurement{
-				Engine:     eng.name,
-				N:          n,
-				Rounds:     benchRounds,
-				Iterations: res.N,
-				NsPerOp:    ns,
-				MsPerOp:    float64(ns) / 1e6,
+				Engine:      eng.name,
+				N:           n,
+				Rounds:      benchRounds,
+				Iterations:  res.N,
+				NsPerOp:     ns,
+				MsPerOp:     float64(ns) / 1e6,
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
 			})
-			fmt.Fprintf(os.Stderr, "%-5s n=%-5d %10d ns/op  (%d iters)\n", eng.name, n, ns, res.N)
+			fmt.Fprintf(os.Stderr, "%-5s n=%-5d %10d ns/op %8d allocs/op  (%d iters)\n",
+				eng.name, n, ns, res.AllocsPerOp(), res.N)
 		}
 	}
 	for _, n := range sizes {
@@ -136,6 +159,7 @@ func main() {
 			N:          n,
 			ShardVsSeq: ratio(perOp["seq"][n], perOp["shard"][n]),
 			ShardVsCon: ratio(perOp["conc"][n], perOp["shard"][n]),
+			VecVsSeq:   ratio(perOp["seq"][n], perOp["vec"][n]),
 		})
 	}
 

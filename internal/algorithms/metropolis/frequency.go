@@ -47,11 +47,16 @@ type FreqAgent struct {
 	deg int
 	x   map[float64]float64
 	out model.Value
+
+	// universe is the engine-provided dense layout for vectorized runs:
+	// sorted distinct input values, read-only (see model.VectorAgent).
+	universe []float64
 }
 
 var (
 	_ model.OutdegreeSender = (*FreqAgent)(nil)
 	_ model.Broadcaster     = (*FreqAgent)(nil)
+	_ model.VectorAgent     = (*FreqAgent)(nil)
 )
 
 // FreqConfig parameterizes NewFreqFactory.
@@ -154,13 +159,71 @@ func (a *FreqAgent) Receive(msgs []model.Message) {
 		}
 	}
 	next := make(map[float64]float64, len(support))
-	for w := range support {
-		xw := a.x[w] // 0 when joining
-		sum := xw
-		for _, m := range incoming {
-			sum += a.weight(m.D) * (m.X[w] - xw) // missing entries read as 0
+	if a.variant == MaxDegree {
+		// Factored form shared verbatim with the vectorized path (see
+		// maxDegreeStep): sum the neighbours' estimates first, then apply
+		// the 1/N-weighted correction once.
+		for w := range support {
+			xw := a.x[w] // 0 when joining
+			var sum float64
+			for _, m := range incoming {
+				sum += m.X[w] // missing entries read as 0
+			}
+			next[w] = maxDegreeStep(xw, sum, len(incoming), a.boundN)
 		}
-		next[w] = sum
+	} else {
+		for w := range support {
+			xw := a.x[w] // 0 when joining
+			sum := xw
+			for _, m := range incoming {
+				sum += a.weight(m.D) * (m.X[w] - xw) // missing entries read as 0
+			}
+			next[w] = sum
+		}
+	}
+	a.x = next
+	a.refreshOutput()
+}
+
+// InitVector reports width 2 per universe value — the estimate and an
+// awareness flag — for the MaxDegree variant; Standard and Lazy decline,
+// exactly as the plain Agent does. The flag reproduces the support-set
+// semantics: a value enters an agent's estimate map when some neighbour
+// runs its instance, even at estimate 0.
+func (a *FreqAgent) InitVector(universe []float64) int {
+	if a.variant != MaxDegree {
+		return 0
+	}
+	a.universe = universe
+	return 2 * len(universe)
+}
+
+// SendVector lays the estimates out densely; unaware values contribute
+// exact-zero rows (estimates are non-negative, so adding them never flips
+// a sign bit).
+func (a *FreqAgent) SendVector(outdeg int, dst []float64) {
+	for k, w := range a.universe {
+		if x, aware := a.x[w]; aware {
+			dst[2*k] = x
+			dst[2*k+1] = 1
+		} else {
+			dst[2*k] = 0
+			dst[2*k+1] = 0
+		}
+	}
+}
+
+// ReceiveVector applies the factored per-value MaxDegree update on the
+// engine-summed rows — the same expression, on bit-identical operands, as
+// the generic Receive.
+func (a *FreqAgent) ReceiveVector(sum []float64, count int) {
+	next := make(map[float64]float64, len(a.x))
+	for k, w := range a.universe {
+		xw, joined := a.x[w]
+		if sum[2*k+1] == 0 && !joined {
+			continue // ω not in support: no instance here yet
+		}
+		next[w] = maxDegreeStep(xw, sum[2*k], count, a.boundN)
 	}
 	a.x = next
 	a.refreshOutput()

@@ -53,6 +53,7 @@ type Agent struct {
 var (
 	_ model.OutdegreeSender = (*Agent)(nil)
 	_ model.Broadcaster     = (*Agent)(nil)
+	_ model.VectorAgent     = (*Agent)(nil)
 )
 
 // NewFactory returns a Metropolis agent factory. boundN is required (≥ 1)
@@ -87,8 +88,25 @@ func (a *Agent) Send() model.Message {
 
 // Receive applies the consensus update. The agent's own message contributes
 // (x_i − x_i) = 0, so anonymity costs nothing: no self-identification is
-// needed.
+// needed. The MaxDegree variant — whose weight 1/N does not depend on the
+// sender — factors the update through the plain message sum, the exact
+// expression the vectorized engine evaluates, so both paths round floats
+// identically.
 func (a *Agent) Receive(msgs []model.Message) {
+	if a.variant == MaxDegree {
+		var sum float64
+		count := 0
+		for _, raw := range msgs {
+			m, ok := raw.(Msg)
+			if !ok {
+				continue
+			}
+			sum += m.X
+			count++
+		}
+		a.x = maxDegreeStep(a.x, sum, count, a.boundN)
+		return
+	}
 	sum := 0.0
 	for _, raw := range msgs {
 		m, ok := raw.(Msg)
@@ -98,6 +116,32 @@ func (a *Agent) Receive(msgs []model.Message) {
 		sum += a.weight(m.D) * (m.X - a.x)
 	}
 	a.x += sum
+}
+
+// maxDegreeStep is the factored MaxDegree update x + (Σxⱼ − c·x)/N. The
+// generic and vectorized paths both evaluate exactly this expression on the
+// same operands, which is what makes their traces bit-identical.
+func maxDegreeStep(x, sum float64, count, boundN int) float64 {
+	return x + (sum-float64(count)*x)/float64(boundN)
+}
+
+// InitVector reports width 1 (the running estimate) for the MaxDegree
+// variant, whose constant weight 1/N makes the update linear in the message
+// sum. Standard and Lazy weights depend on each sender's degree — the
+// update is not a function of the sum — so they decline vectorization.
+func (a *Agent) InitVector(universe []float64) int {
+	if a.variant != MaxDegree {
+		return 0
+	}
+	return 1
+}
+
+// SendVector writes the estimate, matching Send.
+func (a *Agent) SendVector(outdeg int, dst []float64) { dst[0] = a.x }
+
+// ReceiveVector applies the factored MaxDegree update.
+func (a *Agent) ReceiveVector(sum []float64, count int) {
+	a.x = maxDegreeStep(a.x, sum[0], count, a.boundN)
 }
 
 // weight returns w_ij for a neighbour of degree d_j. For the degree-aware

@@ -65,9 +65,16 @@ type Frequency struct {
 	outdeg int
 	y, z   map[float64]float64
 	out    model.Value
+
+	// universe is the engine-provided dense layout for vectorized runs:
+	// sorted distinct input values, read-only (see model.VectorAgent).
+	universe []float64
 }
 
-var _ model.OutdegreeSender = (*Frequency)(nil)
+var (
+	_ model.OutdegreeSender = (*Frequency)(nil)
+	_ model.VectorAgent     = (*Frequency)(nil)
+)
 
 // FrequencyConfig parameterizes NewFrequencyFactory.
 type FrequencyConfig struct {
@@ -185,6 +192,60 @@ func (a *Frequency) Receive(msgs []model.Message) {
 			// First time processing instance ω: incorporate the retained
 			// initial mass exactly once (the virtual self-loop of the
 			// asynchronous-start reduction).
+			zSum += initialMass(a.mode, a.leader)
+		}
+		newY[w] = ySum
+		newZ[w] = zSum
+	}
+	a.y, a.z = newY, newZ
+	a.refreshOutput()
+}
+
+// InitVector reports width 3 per universe value: the y-share, the z-share,
+// and an awareness flag. The flag is load-bearing: an agent aware of ω with
+// zero mass differs from an unaware one — awareness is what triggers a
+// neighbour's one-time initial-mass join — and the flat rows must carry
+// that distinction, since a dense 0 cannot.
+func (a *Frequency) InitVector(universe []float64) int {
+	a.universe = universe
+	return 3 * len(universe)
+}
+
+// SendVector lays the per-value shares out densely. The shares are the very
+// m.Y[ω]/d divisions Receive performs on arrival, moved to the sender —
+// identical operands, identical bits — and an unaware value's (0, 0, 0) row
+// contributes exact zeros that leave the receiver's running sums unchanged
+// (the masses are non-negative, so no −0 can arise).
+func (a *Frequency) SendVector(outdeg int, dst []float64) {
+	a.outdeg = outdeg
+	d := float64(outdeg)
+	for k, w := range a.universe {
+		if y, aware := a.y[w]; aware {
+			dst[3*k] = y / d
+			dst[3*k+1] = a.z[w] / d
+			dst[3*k+2] = 1
+		} else {
+			dst[3*k] = 0
+			dst[3*k+1] = 0
+			dst[3*k+2] = 0
+		}
+	}
+}
+
+// ReceiveVector applies the same per-value update as Receive: a value is in
+// support when some sender was aware of it (flag sum > 0) or this agent
+// already runs its instance; a joining agent incorporates its retained
+// initial mass exactly once.
+func (a *Frequency) ReceiveVector(sum []float64, count int) {
+	newY := make(map[float64]float64, len(a.y))
+	newZ := make(map[float64]float64, len(a.y))
+	for k, w := range a.universe {
+		_, joined := a.y[w]
+		if sum[3*k+2] == 0 && !joined {
+			continue // ω not in support: no instance here yet
+		}
+		ySum, zSum := sum[3*k], sum[3*k+1]
+		if !joined {
 			zSum += initialMass(a.mode, a.leader)
 		}
 		newY[w] = ySum

@@ -30,7 +30,10 @@ type QuotSum struct {
 	y, z float64
 }
 
-var _ model.OutdegreeSender = (*QuotSum)(nil)
+var (
+	_ model.OutdegreeSender = (*QuotSum)(nil)
+	_ model.VectorAgent     = (*QuotSum)(nil)
+)
 
 // NewQuotSum returns an agent with numerator v and positive weight w.
 func NewQuotSum(v, w float64) *QuotSum { return &QuotSum{y: v, z: w} }
@@ -59,6 +62,25 @@ func (a *QuotSum) Receive(msgs []model.Message) {
 		z += m.Z
 	}
 	a.y, a.z = y, z
+}
+
+// InitVector reports width 2: the split mass pair (y/d, z/d). Push-Sum is
+// linear in the received multiset, so every QuotSum vectorizes.
+func (a *QuotSum) InitVector(universe []float64) int { return 2 }
+
+// SendVector writes the split mass pair — the same divisions SendOutdegree
+// performs, so both paths ship bit-identical shares.
+func (a *QuotSum) SendVector(outdeg int, dst []float64) {
+	d := float64(outdeg)
+	dst[0] = a.y / d
+	dst[1] = a.z / d
+}
+
+// ReceiveVector replaces the mass pair by the received sums; the engine
+// sums the shares in the same shuffled order Receive iterates, so the new
+// (y, z) agree with the generic path bit for bit.
+func (a *QuotSum) ReceiveVector(sum []float64, count int) {
+	a.y, a.z = sum[0], sum[1]
 }
 
 // Output returns x = y/z.

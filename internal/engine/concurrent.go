@@ -203,7 +203,7 @@ func (c *Concurrent) Step() error {
 		return firstErr
 	}
 	// Routing, shared with the sequential engine.
-	inboxes, err := deliverRound(g, c.cfg.Kind, active, sent, t, c.cfg.Faults, c.pend, &c.faults)
+	inboxes, err := deliverRound(g, c.cfg.Kind, active, sent, t, c.cfg.Faults, c.pend, &c.faults, nil)
 	if err != nil {
 		return err
 	}

@@ -178,9 +178,21 @@ func applyFate(f Fate, m model.Message, t, dst int, inbox *[]model.Message, pend
 // (sources ascending, edge insertion order, then pending deliveries), and
 // is shared by the sequential and concurrent engines; the sharded engine
 // implements the same order through its destination-major CSR layout.
-func deliverRound(g *graph.Graph, kind model.Kind, active []bool, sent [][]model.Message, t int, inj FaultInjector, pend *pendingStore, fs *FaultStats) ([][]model.Message, error) {
+// into, when non-nil, supplies caller-owned inbox slices whose backing
+// arrays are truncated and reused — the sequential engine passes its
+// persistent buffers so the steady state reallocates nothing; nil
+// allocates fresh inboxes (the concurrent engine, whose worker goroutines
+// hold the slices across the receive barrier).
+func deliverRound(g *graph.Graph, kind model.Kind, active []bool, sent [][]model.Message, t int, inj FaultInjector, pend *pendingStore, fs *FaultStats, into [][]model.Message) ([][]model.Message, error) {
 	n := g.N()
-	inboxes := make([][]model.Message, n)
+	inboxes := into
+	if inboxes == nil {
+		inboxes = make([][]model.Message, n)
+	} else {
+		for i := range inboxes {
+			inboxes[i] = inboxes[i][:0]
+		}
+	}
 	for i := 0; i < n; i++ {
 		if !active[i] {
 			continue

@@ -1,0 +1,525 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"anonnet/internal/dynamic"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+// Vectorized is the zero-allocation kernel runner for linear mass-passing
+// algorithms: agents implementing model.VectorAgent expose their round
+// message as a fixed-width float64 tuple, and the engine executes rounds
+// entirely over two flat n·width SoA buffers — one for the sent rows, one
+// for the per-destination sums — with a CSR scatter-add over the same
+// destination-major adjacency the sharded engine uses. No message is ever
+// boxed into an interface and the steady-state round loop performs zero
+// heap allocations (asserted by tests and the bench-smoke CI job).
+//
+// The observable behaviour is identical to the sequential Engine for equal
+// Config: per destination, the contributing rows are gathered in the
+// sequential engine's inbox fill order (sources ascending, edge insertion
+// order, then due delayed deliveries), permuted by the shared seeded RNG
+// with exactly the rand.Shuffle call the generic engines make, and summed
+// in the permuted order — so float rounding, and hence traces, agree byte
+// for byte. Property tests in vectorized_test.go assert this across seeds,
+// models, async starts, and fault plans.
+type Vectorized struct {
+	cfg      Config
+	schedule dynamic.Schedule
+	agents   []model.Agent
+	vecs     []model.VectorAgent // the same agents, through the vector contract
+	width    int
+	universe []float64
+	round    int
+	rng      *rand.Rand
+	messages int64
+	faults   FaultStats
+	closed   bool
+
+	// Double-buffered flat SoA state: agent i's outgoing message occupies
+	// sent[i·w : (i+1)·w]; destination j's component-wise sum accumulates in
+	// sums[j·w : (j+1)·w]. Both are reused round over round.
+	sent   []float64
+	sums   []float64
+	counts []int32
+	active []bool
+	allOn  bool
+
+	// gather is the per-destination contribution list, reused across
+	// destinations and rounds: entries ≥ 0 index a source agent's sent row,
+	// entries < 0 are ^k for row k of late (delayed messages come due).
+	gather []int32
+	// late holds the rows of delayed messages flushed for the current
+	// destination; the sent buffer is rewritten next round, so delayed rows
+	// must be copied out of it and live here until summed.
+	late []float64
+
+	pend *vecPending
+
+	adj     *csrAdjacency
+	adjFor  *graph.Graph
+	adjPool sync.Pool
+}
+
+var _ Runner = (*Vectorized)(nil)
+
+// ErrNotVectorizable reports that a Config cannot run on the vectorized
+// engine: its factory builds agents that do not implement
+// model.VectorAgent, or that decline vectorization (a non-linear variant),
+// or the model is output-port aware. Callers that want transparent
+// degradation (the job runner, the facade) match it with errors.Is and
+// fall back to the sequential engine, whose traces are identical anyway.
+var ErrNotVectorizable = errors.New("engine: config is not vectorizable")
+
+// NewVectorized validates cfg, instantiates the agents through the
+// model.VectorAgent contract, and returns a vectorized engine positioned
+// before round 1. It returns an error wrapping ErrNotVectorizable when the
+// algorithm cannot run on the vector kernel.
+func NewVectorized(cfg Config) (*Vectorized, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kind == model.OutputPortAware {
+		return nil, fmt.Errorf("%w: the output-port model sends one message per port, not one fixed-width vector", ErrNotVectorizable)
+	}
+	schedule := cfg.Schedule
+	if cfg.Starts != nil {
+		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
+		if err != nil {
+			return nil, err
+		}
+		schedule = wrapped
+	}
+	universe := universeOf(cfg.Inputs)
+	n := len(cfg.Inputs)
+	agents := make([]model.Agent, n)
+	vecs := make([]model.VectorAgent, n)
+	width := 0
+	for i, in := range cfg.Inputs {
+		a := cfg.Factory(in)
+		if a == nil {
+			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
+		}
+		va, ok := a.(model.VectorAgent)
+		if !ok {
+			return nil, fmt.Errorf("%w: agent %d (%T) does not implement model.VectorAgent", ErrNotVectorizable, i, a)
+		}
+		w := va.InitVector(universe)
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: agent %d (%T) declined vectorization", ErrNotVectorizable, i, a)
+		}
+		if i == 0 {
+			width = w
+		} else if w != width {
+			return nil, fmt.Errorf("engine: agent %d reports vector width %d, agent 0 reported %d", i, w, width)
+		}
+		agents[i], vecs[i] = a, va
+	}
+	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
+		return nil, err
+	}
+	v := &Vectorized{
+		cfg:      cfg,
+		schedule: schedule,
+		agents:   agents,
+		vecs:     vecs,
+		width:    width,
+		universe: universe,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		sent:     make([]float64, n*width),
+		sums:     make([]float64, n*width),
+		counts:   make([]int32, n),
+		active:   make([]bool, n),
+		allOn:    cfg.Starts == nil,
+	}
+	if cfg.Faults != nil {
+		v.pend = newVecPending(n, width)
+	}
+	v.adjPool.New = func() any { return new(csrAdjacency) }
+	if v.allOn {
+		for i := range v.active {
+			v.active[i] = true
+		}
+	}
+	return v, nil
+}
+
+// CanVectorize reports whether cfg can run on the vectorized engine, by
+// probing one agent from the factory (every agent of an execution comes
+// from the same factory, so one probe decides for all). It never
+// mis-selects: algorithms whose agents do not implement model.VectorAgent,
+// or whose variant declines vectorization, report false.
+func CanVectorize(cfg Config) bool {
+	if cfg.validate() != nil || cfg.Kind == model.OutputPortAware || len(cfg.Inputs) == 0 {
+		return false
+	}
+	a := cfg.Factory(cfg.Inputs[0])
+	va, ok := a.(model.VectorAgent)
+	if !ok {
+		return false
+	}
+	return va.InitVector(universeOf(cfg.Inputs)) > 0
+}
+
+// universeOf returns the sorted distinct input values — the dense layout
+// the per-value (frequency) vector agents index by.
+func universeOf(inputs []model.Input) []float64 {
+	vals := make([]float64, 0, len(inputs))
+	for _, in := range inputs {
+		vals = append(vals, in.Value)
+	}
+	sort.Float64s(vals)
+	u := vals[:0]
+	for _, v := range vals {
+		if len(u) == 0 || u[len(u)-1] != v {
+			u = append(u, v)
+		}
+	}
+	return u
+}
+
+// N returns the number of agents.
+func (v *Vectorized) N() int { return len(v.agents) }
+
+// Round returns the number of completed rounds.
+func (v *Vectorized) Round() int { return v.round }
+
+// Width returns the per-message vector width, for white-box tests.
+func (v *Vectorized) Width() int { return v.width }
+
+// Agent returns agent i, for white-box tests.
+func (v *Vectorized) Agent(i int) model.Agent { return v.agents[i] }
+
+// Outputs returns the current outputs x_i(t).
+func (v *Vectorized) Outputs() []model.Value {
+	out := make([]model.Value, len(v.agents))
+	for i, a := range v.agents {
+		out[i] = a.Output()
+	}
+	return out
+}
+
+// Stats returns cumulative execution statistics.
+func (v *Vectorized) Stats() Stats {
+	return Stats{Rounds: v.round, MessagesDelivered: v.messages, Faults: v.faults}
+}
+
+// Corrupt scrambles every Corruptible agent's state.
+func (v *Vectorized) Corrupt(junk int64) int {
+	if v.closed {
+		return 0
+	}
+	count := 0
+	for i, a := range v.agents {
+		if c, ok := a.(model.Corruptible); ok {
+			c.Corrupt(junk + int64(i)*7919)
+			count++
+		}
+	}
+	return count
+}
+
+// Close releases the buffers. It is idempotent; Step after Close fails.
+func (v *Vectorized) Close() {
+	if v.closed {
+		return
+	}
+	v.closed = true
+	v.adj, v.adjFor = nil, nil
+	v.sent, v.sums, v.gather, v.late = nil, nil, nil, nil
+}
+
+// Step executes one round with the same semantics (and trace) as
+// Engine.Step: restart, send into the flat rows, destination-major gather
+// with fault fates, seeded shuffle of the contribution order, scatter-add,
+// receive.
+func (v *Vectorized) Step() error {
+	if v.closed {
+		return fmt.Errorf("engine: Step on closed vectorized engine")
+	}
+	t := v.round + 1
+	if err := v.restart(t); err != nil {
+		return err
+	}
+	if err := v.roundGraph(t); err != nil {
+		return err
+	}
+	adj, w, inj := v.adj, v.width, v.cfg.Faults
+
+	// Send phase: each active agent writes its row of the flat sent buffer.
+	for i, va := range v.vecs {
+		if v.active[i] {
+			va.SendVector(int(adj.outdeg[i]), v.sent[i*w:(i+1)*w:(i+1)*w])
+		}
+	}
+
+	// Delivery phase, destination-major like the sharded engine: gather the
+	// contributing rows of destination j in the sequential engine's inbox
+	// fill order, apply fault fates (self-loops exempt), flush due delayed
+	// rows, shuffle the contribution order with the shared seeded RNG, and
+	// sum the rows in the shuffled order so float rounding matches the
+	// generic engines' Receive exactly.
+	for j := range v.vecs {
+		refs := v.gather[:0]
+		v.late = v.late[:0]
+		switch {
+		case !v.active[j]:
+		case inj == nil:
+			for e := adj.start[j]; e < adj.start[j+1]; e++ {
+				if src := adj.src[e]; v.active[src] {
+					refs = append(refs, src)
+				}
+			}
+		default:
+			for e := adj.start[j]; e < adj.start[j+1]; e++ {
+				src := adj.src[e]
+				if !v.active[src] {
+					continue
+				}
+				if int(src) == j {
+					refs = append(refs, src)
+					continue
+				}
+				f := inj.MessageFate(t, int(src), j)
+				if f.Drop {
+					v.faults.Dropped++
+					continue
+				}
+				copies := 1
+				if f.Dup > 0 {
+					copies += f.Dup
+					v.faults.Duplicated += int64(f.Dup)
+				}
+				if f.Delay > 0 {
+					v.faults.Delayed += int64(copies)
+					for c := 0; c < copies; c++ {
+						v.pend.add(j, t+f.Delay, v.sent[int(src)*w:(int(src)+1)*w])
+					}
+					continue
+				}
+				for c := 0; c < copies; c++ {
+					refs = append(refs, src)
+				}
+			}
+		}
+		if v.pend != nil {
+			refs = v.pend.flush(j, t, refs, &v.late, v.active[j])
+		}
+		count := len(refs)
+		sum := v.sums[j*w : (j+1)*w]
+		for c := range sum {
+			sum[c] = 0
+		}
+		if v.active[j] {
+			v.messages += int64(count)
+			shuffleRefs(v.rng, refs)
+			v.accumulate(sum, refs, w)
+		}
+		v.counts[j] = int32(count)
+		v.gather = refs[:0]
+	}
+
+	// Receive phase.
+	for j, va := range v.vecs {
+		if v.active[j] {
+			va.ReceiveVector(v.sums[j*w:(j+1)*w], int(v.counts[j]))
+		}
+	}
+	v.round = t
+	return nil
+}
+
+// accumulate sums the referenced rows into sum, in slice order, one running
+// total per component — the same addition sequence as the generic engines'
+// message loop, so the rounding is identical. The width-1 and width-2 cases
+// keep the totals in registers; they are the hot shapes (Push-Sum averages
+// and Metropolis).
+func (v *Vectorized) accumulate(sum []float64, refs []int32, w int) {
+	switch w {
+	case 1:
+		s0 := 0.0
+		for _, r := range refs {
+			s0 += v.row(r, 1)[0]
+		}
+		sum[0] = s0
+	case 2:
+		s0, s1 := 0.0, 0.0
+		for _, r := range refs {
+			row := v.row(r, 2)
+			s0 += row[0]
+			s1 += row[1]
+		}
+		sum[0], sum[1] = s0, s1
+	default:
+		for _, r := range refs {
+			row := v.row(r, w)
+			for c := 0; c < w; c++ {
+				sum[c] += row[c]
+			}
+		}
+	}
+}
+
+// row resolves a gather reference: ≥ 0 indexes a sent row, < 0 is ^k into
+// the late scratch.
+func (v *Vectorized) row(r int32, w int) []float64 {
+	if r >= 0 {
+		return v.sent[int(r)*w : (int(r)+1)*w]
+	}
+	k := int(^r)
+	return v.late[k*w : (k+1)*w]
+}
+
+// shuffleRefs applies exactly rand.Shuffle's Fisher–Yates permutation to
+// refs, inlined to spare the hottest loop of the round a per-swap closure
+// call. It must consume the RNG draw-for-draw like rand.Shuffle so
+// vectorized traces stay byte-identical to the generic engines'; the
+// trace-equality property tests fail on any divergence.
+func shuffleRefs(rng *rand.Rand, refs []int32) {
+	for i := len(refs) - 1; i > 0; i-- {
+		j := randInt31n(rng, int32(i+1))
+		refs[i], refs[j] = refs[j], refs[i]
+	}
+}
+
+// randInt31n mirrors math/rand's unexported int31n — the bounded draw
+// rand.Shuffle makes per swap: an unbiased multiply-shift with rejection,
+// consuming Uint32s from the shared source. math/rand is frozen, so the
+// algorithm, and hence the draw sequence, is stable.
+func randInt31n(r *rand.Rand, n int32) int32 {
+	v := r.Uint32()
+	prod := uint64(v) * uint64(n)
+	low := uint32(prod)
+	if low < uint32(n) {
+		thresh := uint32(-n) % uint32(n)
+		for low < thresh {
+			v = r.Uint32()
+			prod = uint64(v) * uint64(n)
+			low = uint32(prod)
+		}
+	}
+	return int32(prod >> 32)
+}
+
+// restart applies the crash-restart channel, re-initializing rebuilt agents
+// through the vector contract so their width commitment stays intact.
+func (v *Vectorized) restart(t int) error {
+	inj := v.cfg.Faults
+	if inj == nil {
+		return nil
+	}
+	for i := range v.agents {
+		if !inj.Restart(t, i) {
+			continue
+		}
+		a := v.cfg.Factory(v.cfg.Inputs[i])
+		if a == nil {
+			return fmt.Errorf("engine: factory returned nil agent restarting agent %d at round %d", i, t)
+		}
+		va, ok := a.(model.VectorAgent)
+		if !ok {
+			return fmt.Errorf("engine: restarted agent %d (%T) does not implement model.VectorAgent", i, a)
+		}
+		if w := va.InitVector(v.universe); w != v.width {
+			return fmt.Errorf("engine: restarted agent %d reports vector width %d, want %d", i, w, v.width)
+		}
+		v.agents[i], v.vecs[i] = a, va
+	}
+	return nil
+}
+
+// roundGraph fetches the round-t graph, revalidates and reflattens it only
+// when it differs from the previous round's, and refreshes the activity
+// mask — the same rebuild-on-change policy as the sharded engine, so static
+// schedules pay validation once and the steady-state loop allocates
+// nothing.
+func (v *Vectorized) roundGraph(t int) error {
+	if !v.allOn || v.cfg.Faults != nil {
+		for i := range v.active {
+			v.active[i] = v.cfg.Starts == nil || t >= v.cfg.Starts[i]
+		}
+		applyStalls(v.cfg.Faults, t, v.active)
+	}
+	g := v.schedule.At(t)
+	if g == nil {
+		return fmt.Errorf("engine: schedule returned nil graph at round %d", t)
+	}
+	if g == v.adjFor {
+		return nil
+	}
+	if g.N() != len(v.agents) {
+		return fmt.Errorf("engine: round %d graph has %d vertices, want %d", t, g.N(), len(v.agents))
+	}
+	if !g.HasSelfLoops() {
+		return fmt.Errorf("engine: round %d graph lacks self-loops (§2.1 requires them)", t)
+	}
+	if v.cfg.Kind == model.Symmetric && !g.IsSymmetric() {
+		return fmt.Errorf("engine: round %d graph is not symmetric but the model is %v", t, v.cfg.Kind)
+	}
+	if v.adj != nil {
+		v.adjPool.Put(v.adj)
+	}
+	adj := v.adjPool.Get().(*csrAdjacency)
+	adj.build(g, v.cfg.Kind)
+	v.adj, v.adjFor = adj, g
+	return nil
+}
+
+// vecPending is the vector analogue of pendingStore: delayed rows per
+// destination, appended in delivery-iteration order and flushed in that
+// order, with the same keep-compaction. Rows are copied out of the sent
+// buffer at add time because that buffer is rewritten every round.
+type vecPending struct {
+	width int
+	byDst []vecQueue
+}
+
+type vecQueue struct {
+	due []int
+	buf []float64 // len(due)·width, row k at buf[k·width : (k+1)·width]
+}
+
+func newVecPending(n, width int) *vecPending {
+	return &vecPending{width: width, byDst: make([]vecQueue, n)}
+}
+
+// add enqueues a copy of row for dst at round due.
+func (p *vecPending) add(dst, due int, row []float64) {
+	q := &p.byDst[dst]
+	q.due = append(q.due, due)
+	q.buf = append(q.buf, row...)
+}
+
+// flush moves every row due by round t into late (when deliver is true; an
+// inactive destination loses its due rows), appending a ^k reference to
+// refs for each, and compacts the rest in place.
+func (p *vecPending) flush(dst, t int, refs []int32, late *[]float64, deliver bool) []int32 {
+	q := &p.byDst[dst]
+	if len(q.due) == 0 {
+		return refs
+	}
+	w := p.width
+	keep := 0
+	for idx, due := range q.due {
+		if due <= t {
+			if deliver {
+				k := len(*late) / w
+				*late = append(*late, q.buf[idx*w:(idx+1)*w]...)
+				refs = append(refs, int32(^k))
+			}
+		} else {
+			q.due[keep] = due
+			copy(q.buf[keep*w:(keep+1)*w], q.buf[idx*w:(idx+1)*w])
+			keep++
+		}
+	}
+	q.due = q.due[:keep]
+	q.buf = q.buf[:keep*w]
+	return refs
+}

@@ -3,6 +3,7 @@ package job
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 
@@ -195,7 +196,7 @@ type FaultCounts struct {
 // under ctx, reporting each round to obs when non-nil. A context
 // cancellation or deadline aborts at the next round boundary and surfaces
 // the context's error. Equal compiled jobs produce equal results: all
-// three engines are deterministic in the spec's seed.
+// four engines are deterministic in the spec's seed.
 func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error) {
 	cfg := engine.Config{
 		Schedule: c.Schedule,
@@ -219,6 +220,15 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 		r, err = engine.NewConcurrent(cfg)
 	case c.Spec.Engine == "shard":
 		r, err = engine.NewSharded(cfg, c.Spec.Shards)
+	case c.Spec.Engine == "vec":
+		r, err = engine.NewVectorized(cfg)
+		if errors.Is(err, engine.ErrNotVectorizable) {
+			// Deterministic fallback: the vectorized kernel only accepts
+			// linear mass-passing algorithms (model.VectorAgent); everything
+			// else runs on the sequential engine, whose traces the kernel
+			// reproduces byte for byte anyway.
+			r, err = engine.New(cfg)
+		}
 	default:
 		r, err = engine.New(cfg)
 	}

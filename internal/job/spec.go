@@ -76,9 +76,10 @@ type GraphSpec struct {
 
 // SpecSchemaVersion is the current job-spec schema version. Version 1 is
 // the original unversioned shape; version 2 adds the engine/shards
-// selectors; version 3 adds the faults block. Specs omitting
-// schema_version are version 1.
-const SpecSchemaVersion = 3
+// selectors; version 3 adds the faults block; version 4 adds the "vec"
+// engine (the vectorized kernel). Specs omitting schema_version are
+// version 1.
+const SpecSchemaVersion = 4
 
 // Spec is one simulation job. The zero value is invalid; Canonical
 // validates and normalizes.
@@ -122,8 +123,10 @@ type Spec struct {
 	// version-1 canonical hash.
 	Concurrent bool `json:"concurrent,omitempty"`
 	// Engine selects the round engine by name: "" or "seq" (sequential,
-	// the default), "conc" (goroutine per agent), or "shard" (sharded
-	// batch engine). "seq" is normalized to "" so version-1 specs hash
+	// the default), "conc" (goroutine per agent), "shard" (sharded batch
+	// engine), or "vec" (the vectorized kernel, schema_version ≥ 4; falls
+	// back to sequential — identical traces — when the algorithm is not
+	// vectorizable). "seq" is normalized to "" so version-1 specs hash
 	// identically. Mutually exclusive with Concurrent.
 	Engine string `json:"engine,omitempty"`
 	// Shards is the sharded engine's shard count (engine=shard only);
@@ -355,8 +358,13 @@ func (s Spec) Canonical() (Spec, error) {
 		c.Concurrent = true
 	case "shard", "sharded":
 		c.Engine = "shard"
+	case "vec", "vectorized":
+		if s.SchemaVersion >= 1 && s.SchemaVersion <= 3 {
+			return Spec{}, errf("engine", "engine=vec needs schema_version ≥ 4")
+		}
+		c.Engine = "vec"
 	default:
-		return Spec{}, errf("engine", "unknown engine %q (want seq, conc, or shard)", s.Engine)
+		return Spec{}, errf("engine", "unknown engine %q (want seq, conc, shard, or vec)", s.Engine)
 	}
 	if s.Shards != 0 && c.Engine != "shard" {
 		return Spec{}, errf("shards", "shards is only meaningful with engine=shard")

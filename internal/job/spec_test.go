@@ -135,6 +135,108 @@ func TestSchemaVersionHashCompat(t *testing.T) {
 	}
 }
 
+// TestVecEngineHash pins version 4's side of the contract: declaring
+// schema_version 3 or 4 without new features keeps the version-1 hash,
+// engine=vec (and its "vectorized" spelling) hashes distinctly from every
+// older engine, and naming vec under a declared pre-4 version is an error
+// rather than a silently reinterpreted spec.
+func TestVecEngineHash(t *testing.T) {
+	base := ringAverageSpec()
+	ref, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{3, 4} {
+		s := base
+		s.SchemaVersion = v
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("schema_version %d: %v", v, err)
+		}
+		if h != ref {
+			t.Fatalf("schema_version %d hashes %q, want the version-1 hash %q", v, h, ref)
+		}
+	}
+	vec := base
+	vec.Engine = "vec"
+	hv, err := vec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []string{"", "conc", "shard"} {
+		s := base
+		s.Engine = other
+		if other == "conc" {
+			s.Concurrent = true
+			s.Engine = ""
+		}
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == hv {
+			t.Fatalf("engine=vec hashes like %q", other)
+		}
+	}
+	spelled := base
+	spelled.Engine = "vectorized"
+	spelled.SchemaVersion = 4
+	hs, err := spelled.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs != hv {
+		t.Fatalf("engine=vectorized at v4 hashes %q, engine=vec hashes %q", hs, hv)
+	}
+}
+
+// TestRunVecEngine runs engine=vec on a vectorizable job (dynamic Push-Sum
+// average) and on a non-vectorizable one (the static minimum-base
+// pipeline, which falls back to the sequential engine); both must
+// reproduce the sequential results exactly — fallback and kernel alike are
+// trace-identical, so the engine choice can never change an answer.
+func TestRunVecEngine(t *testing.T) {
+	specs := []Spec{
+		{Graph: GraphSpec{Builder: "splitring", N: 8}, Kind: "od", Function: "average",
+			Values: []float64{3, 1, 4, 1, 5, 9, 2, 6}, Seed: 7, MaxRounds: 3000},
+		ringAverageSpec(),
+	}
+	for _, base := range specs {
+		t.Run(base.Graph.Builder, func(t *testing.T) {
+			vecSpec := base
+			vecSpec.Engine = "vec"
+			vc, err := Compile(vecSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vc.Spec.Engine != "vec" {
+				t.Fatalf("canonical engine = %q, want vec", vc.Spec.Engine)
+			}
+			sc, err := Compile(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vres, err := Run(context.Background(), vc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sres, err := Run(context.Background(), sc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vres.Rounds != sres.Rounds || vres.StabilizedAt != sres.StabilizedAt ||
+				vres.Messages != sres.Messages {
+				t.Fatalf("vec %+v diverges from sequential %+v", vres, sres)
+			}
+			for i := range vres.Outputs {
+				if vres.Outputs[i] != sres.Outputs[i] {
+					t.Fatalf("output %d: vec %v, sequential %v", i, vres.Outputs[i], sres.Outputs[i])
+				}
+			}
+		})
+	}
+}
+
 func TestCompileShardedEngine(t *testing.T) {
 	s := ringAverageSpec()
 	s.Engine = "shard"
@@ -196,6 +298,8 @@ func TestValidationErrors(t *testing.T) {
 		{"engine and concurrent", Spec{Engine: "shard", Concurrent: true, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "engine"},
 		{"stray shards", Spec{Shards: 2, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
 		{"shards out of range", Spec{Engine: "shard", Shards: MaxAgents + 1, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
+		{"vec before v4", Spec{SchemaVersion: 3, Engine: "vec", Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "engine"},
+		{"vec with shards", Spec{Engine: "vec", Shards: 2, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

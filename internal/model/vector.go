@@ -1,0 +1,41 @@
+package model
+
+// VectorAgent is the optional contract behind the vectorized engine: an
+// agent whose per-round message is a fixed-width tuple of float64s and
+// whose transition function depends on the received multiset only through
+// the component-wise sum (and the message count). Linear mass-passing
+// algorithms — Push-Sum and the max-degree Metropolis iteration — are of
+// exactly this shape, and for them the engine can run rounds over flat
+// float64 buffers with no interface boxing and no per-message allocation.
+//
+// Vectorization is an engine optimization, not a model feature: an agent
+// implementing VectorAgent must behave identically whether driven through
+// Send/SendOutdegree + Receive or through SendVector + ReceiveVector. The
+// vectorized engine sums each destination's message vectors in the same
+// seeded shuffle order in which the generic engines order the inbox slice,
+// so for bit-identical behaviour the generic Receive must itself reduce
+// the multiset to a running component-wise sum in slice order before
+// touching any state (the property tests in package engine assert the
+// resulting traces byte for byte).
+type VectorAgent interface {
+	Agent
+	// InitVector prepares the instance for vectorized execution and returns
+	// the fixed message width w ≥ 1, or 0 when this instance cannot run
+	// vectorized (a non-linear variant, say) and the engine must fall back
+	// to the generic path. universe is the sorted distinct input values of
+	// the whole execution — an engine-level artifact that lets per-value
+	// (frequency) agents lay their sparse maps out as dense rows; agents
+	// must treat it as read-only and may retain it. Every agent of one
+	// execution is handed the same universe and must report the same width.
+	InitVector(universe []float64) int
+	// SendVector writes this round's message into dst (length = the width
+	// returned by InitVector), knowing that exactly outdeg copies will be
+	// delivered. It subsumes Send/SendOutdegree: state recorded by those
+	// sending functions must be recorded here too.
+	SendVector(outdeg int, dst []float64)
+	// ReceiveVector applies the transition function given the
+	// component-wise sum of the count message vectors received this round.
+	// Like Receive it is called exactly once per round, after the round's
+	// sends; sum is owned by the engine and valid only for the call.
+	ReceiveVector(sum []float64, count int)
+}
