@@ -1,7 +1,7 @@
 # Tier-1 verification and the race-checked service suite.
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench benchreport run-daemon clean
+.PHONY: all build vet lint test race fuzz bench benchreport run-daemon clean
 
 all: build vet test
 
@@ -10,6 +10,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Full lint: vet plus staticcheck when it is on PATH (CI installs it; local
+# runs degrade to vet-only rather than requiring the install).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
 
 test: build
 	$(GO) test ./...

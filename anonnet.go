@@ -52,7 +52,6 @@ package anonnet
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"anonnet/internal/core"
@@ -425,31 +424,6 @@ func WithOnRound(fn func(round int, outputs []Value)) Option {
 	return func(c *computeConfig) { c.onRound = fn }
 }
 
-// ComputeOptions is the pre-options tuning struct, consumed by the
-// deprecated ComputeCtx wrapper.
-//
-// Deprecated: use Compute with functional options instead.
-type ComputeOptions struct {
-	// Kind is the communication model (required).
-	Kind Kind
-	// MaxRounds bounds the execution (default 10000).
-	MaxRounds int
-	// Patience is the number of unchanged rounds treated as stabilization
-	// (default 2·n+10).
-	Patience int
-	// Seed drives delivery-order shuffling.
-	Seed int64
-	// Concurrent selects the goroutine-per-agent engine.
-	Concurrent bool
-	// Starts optionally gives per-agent activation rounds (asynchronous
-	// starts).
-	Starts []int
-	// OnRound, when non-nil, is invoked after every completed round with
-	// the round number and the current output vector (round-by-round
-	// progress observation; see engine.Observer).
-	OnRound func(round int, outputs []Value)
-}
-
 // ComputeResult reports a Compute run.
 type ComputeResult struct {
 	// Outputs is the final output vector.
@@ -503,25 +477,13 @@ func Compute(ctx context.Context, spec Spec, opts ...Option) (*ComputeResult, er
 		}
 		cfg.Schedule = sched
 	}
-	var (
-		r   Runner
-		err error
-	)
-	switch cc.engine {
-	case Sequential:
-		r, err = engine.New(cfg)
-	case Concurrent:
-		r, err = engine.NewConcurrent(cfg)
-	case Sharded:
-		r, err = engine.NewSharded(cfg, cc.shards)
-	case Vectorized:
-		r, err = engine.NewVectorized(cfg)
-		if errors.Is(err, engine.ErrNotVectorizable) {
-			r, err = engine.New(cfg)
-		}
-	default:
+	if cc.engine < Sequential || cc.engine > Vectorized {
 		return nil, fmt.Errorf("anonnet: unknown engine %v", cc.engine)
 	}
+	// One engine-selection point for the whole repo: engine.NewRunner maps
+	// the name to the runner and handles the vec→seq fallback (identical
+	// traces) itself.
+	r, err := engine.NewRunner(cfg, cc.engine.String(), cc.shards)
 	if err != nil {
 		return nil, err
 	}
@@ -536,22 +498,4 @@ func Compute(ctx context.Context, spec Spec, opts ...Option) (*ComputeResult, er
 		StabilizedAt: res.StabilizedAt,
 		Rounds:       res.Rounds,
 	}, nil
-}
-
-// ComputeCtx is the pre-options entry point, kept as a thin wrapper so
-// existing callers compile unchanged.
-//
-// Deprecated: use Compute with functional options instead.
-func ComputeCtx(ctx context.Context, factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
-	o := []Option{
-		WithMaxRounds(opts.MaxRounds),
-		WithPatience(opts.Patience),
-		WithSeed(opts.Seed),
-		WithStarts(opts.Starts),
-		WithOnRound(opts.OnRound),
-	}
-	if opts.Concurrent {
-		o = append(o, WithEngine(Concurrent))
-	}
-	return Compute(ctx, Spec{Factory: factory, Schedule: schedule, Inputs: inputs, Kind: opts.Kind}, o...)
 }

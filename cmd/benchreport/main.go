@@ -34,6 +34,7 @@ import (
 	"anonnet/internal/engine"
 	"anonnet/internal/graph"
 	"anonnet/internal/model"
+	"anonnet/internal/topology"
 )
 
 // benchRounds mirrors shardedBenchRounds in bench_test.go so the committed
@@ -52,6 +53,16 @@ type measurement struct {
 	MsPerOp     float64 `json:"ms_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// RoundsPerSec is the steady-state round throughput implied by
+	// NsPerOp (an op is benchRounds rounds).
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// TopologyBuilds / TopologyBuildNs report the CSR snapshot builds the
+	// runner performed over its whole life (construction through the last
+	// timed round). The workload is static, so exactly one build should
+	// appear however long the timed loop ran — nonzero build time with
+	// builds == 1 is the cache doing its job.
+	TopologyBuilds  int64 `json:"topology_builds"`
+	TopologyBuildNs int64 `json:"topology_build_ns"`
 }
 
 type speedup struct {
@@ -71,12 +82,19 @@ type report struct {
 	Speedups     []speedup     `json:"speedups"`
 }
 
-func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) testing.BenchmarkResult {
+// topoStatser is the promoted topology.BuildStats accessor every runner
+// inherits from the engine core.
+type topoStatser interface {
+	TopologyStats() topology.BuildStats
+}
+
+func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) (testing.BenchmarkResult, topology.BuildStats) {
 	inputs := make([]model.Input, n)
 	for j := range inputs {
 		inputs[j] = model.Input{Value: float64(j % 31)}
 	}
-	return testing.Benchmark(func(b *testing.B) {
+	var stats topology.BuildStats
+	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		r, err := mk(engine.Config{
 			Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
@@ -102,7 +120,14 @@ func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) testing.Ben
 				}
 			}
 		}
+		b.StopTimer()
+		// testing.Benchmark re-invokes the closure while scaling b.N; the
+		// last (longest) invocation's stats win.
+		if ts, ok := r.(topoStatser); ok {
+			stats = ts.TopologyStats()
+		}
 	})
+	return res, stats
 }
 
 func main() {
@@ -137,21 +162,28 @@ func main() {
 	for _, eng := range engines {
 		perOp[eng.name] = map[int]int64{}
 		for _, n := range sizes {
-			res := benchOnce(eng.mk, n)
+			res, topo := benchOnce(eng.mk, n)
 			ns := res.NsPerOp()
 			perOp[eng.name][n] = ns
+			rps := 0.0
+			if ns > 0 {
+				rps = math.Round(float64(benchRounds)*1e9/float64(ns)*10) / 10
+			}
 			rep.Measurements = append(rep.Measurements, measurement{
-				Engine:      eng.name,
-				N:           n,
-				Rounds:      benchRounds,
-				Iterations:  res.N,
-				NsPerOp:     ns,
-				MsPerOp:     float64(ns) / 1e6,
-				AllocsPerOp: res.AllocsPerOp(),
-				BytesPerOp:  res.AllocedBytesPerOp(),
+				Engine:          eng.name,
+				N:               n,
+				Rounds:          benchRounds,
+				Iterations:      res.N,
+				NsPerOp:         ns,
+				MsPerOp:         float64(ns) / 1e6,
+				AllocsPerOp:     res.AllocsPerOp(),
+				BytesPerOp:      res.AllocedBytesPerOp(),
+				RoundsPerSec:    rps,
+				TopologyBuilds:  topo.Builds,
+				TopologyBuildNs: topo.BuildNanos,
 			})
-			fmt.Fprintf(os.Stderr, "%-5s n=%-5d %10d ns/op %8d allocs/op  (%d iters)\n",
-				eng.name, n, ns, res.AllocsPerOp(), res.N)
+			fmt.Fprintf(os.Stderr, "%-5s n=%-5d %10d ns/op %8d allocs/op %10.0f rounds/s  %d builds (%d ns)  (%d iters)\n",
+				eng.name, n, ns, res.AllocsPerOp(), rps, topo.Builds, topo.BuildNanos, res.N)
 		}
 	}
 	for _, n := range sizes {

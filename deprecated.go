@@ -1,0 +1,56 @@
+package anonnet
+
+// The pre-options Compute surface, kept since PR 2 so old callers compile
+// unchanged. Both names are thin aliases over the options API: the struct
+// converts itself to []Option in one place and ComputeCtx forwards to
+// Compute. New code should use Compute with functional options directly.
+
+import "context"
+
+// ComputeOptions is the pre-options tuning struct, consumed by the
+// deprecated ComputeCtx wrapper.
+//
+// Deprecated: use Compute with functional options instead.
+type ComputeOptions struct {
+	// Kind is the communication model (required).
+	Kind Kind
+	// MaxRounds bounds the execution (default 10000).
+	MaxRounds int
+	// Patience is the number of unchanged rounds treated as stabilization
+	// (default 2·n+10).
+	Patience int
+	// Seed drives delivery-order shuffling.
+	Seed int64
+	// Concurrent selects the goroutine-per-agent engine.
+	Concurrent bool
+	// Starts optionally gives per-agent activation rounds (asynchronous
+	// starts).
+	Starts []int
+	// OnRound, when non-nil, is invoked after every completed round with
+	// the round number and the current output vector (round-by-round
+	// progress observation; see engine.Observer).
+	OnRound func(round int, outputs []Value)
+}
+
+// options converts the legacy struct to the equivalent functional options.
+func (o ComputeOptions) options() []Option {
+	opts := []Option{
+		WithMaxRounds(o.MaxRounds),
+		WithPatience(o.Patience),
+		WithSeed(o.Seed),
+		WithStarts(o.Starts),
+		WithOnRound(o.OnRound),
+	}
+	if o.Concurrent {
+		opts = append(opts, WithEngine(Concurrent))
+	}
+	return opts
+}
+
+// ComputeCtx is the pre-options entry point, kept as a thin wrapper so
+// existing callers compile unchanged.
+//
+// Deprecated: use Compute with functional options instead.
+func ComputeCtx(ctx context.Context, factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
+	return Compute(ctx, Spec{Factory: factory, Schedule: schedule, Inputs: inputs, Kind: opts.Kind}, opts.options()...)
+}

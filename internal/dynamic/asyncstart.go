@@ -35,9 +35,16 @@ func NewAsyncStart(base Schedule, starts []int) (*AsyncStart, error) {
 // N returns the vertex count.
 func (a *AsyncStart) N() int { return a.Base.N() }
 
-// At returns the round-t graph with pre-start edges removed.
+// At returns the round-t graph with pre-start edges removed. Once every
+// agent has started the filter keeps every edge, so the base graph is
+// returned as-is (when it already carries its self-loops): downstream
+// pointer-identity caches then see a stable graph over a static base and
+// stop rebuilding.
 func (a *AsyncStart) At(t int) *graph.Graph {
 	base := a.Base.At(t)
+	if t >= a.MaxStart() && base.HasSelfLoops() {
+		return base
+	}
 	g := graph.New(base.N())
 	for _, e := range base.Edges() {
 		if e.From == e.To || (t >= a.Starts[e.From] && t >= a.Starts[e.To]) {

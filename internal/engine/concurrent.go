@@ -2,11 +2,10 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
-	"anonnet/internal/dynamic"
 	"anonnet/internal/model"
+	"anonnet/internal/topology"
 )
 
 // Concurrent is the goroutine-per-agent runner: each agent's automaton runs
@@ -15,20 +14,18 @@ import (
 // Engine for equal Config — the round structure of the model is a global
 // synchrony assumption, so the concurrency is in the agents' internal
 // computations, exactly as on real synchronous hardware.
+//
+// Delivery and shuffling run on the engine goroutine through the shared
+// core; only the send and receive stages — the ones that execute agent
+// code — fan out to the workers. The channel synchronization orders the
+// workers' buffer writes before the engine's reads, so the core's reused
+// sent/inbox buffers are safe here too.
 type Concurrent struct {
-	cfg      Config
-	schedule dynamic.Schedule
-	agents   []model.Agent
-	round    int
-	rng      *rand.Rand
+	*core
 
-	reqs     []chan workerReq
-	resps    []chan workerResp
-	closed   bool
-	messages int64
-	pend     *pendingStore
-	faults   FaultStats
-	wg       sync.WaitGroup
+	reqs  []chan workerReq
+	resps []chan workerResp
+	wg    sync.WaitGroup
 }
 
 var _ Runner = (*Concurrent)(nil)
@@ -45,6 +42,7 @@ const (
 type workerReq struct {
 	phase  workerPhase
 	outdeg int
+	buf    []model.Message
 	inbox  []model.Message
 	junk   int64
 }
@@ -59,39 +57,16 @@ type workerResp struct {
 // worker goroutine per agent. Callers must Close the engine to stop the
 // workers.
 func NewConcurrent(cfg Config) (*Concurrent, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	schedule := cfg.Schedule
-	if cfg.Starts != nil {
-		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
-		if err != nil {
-			return nil, err
-		}
-		schedule = wrapped
-	}
-	agents := make([]model.Agent, len(cfg.Inputs))
-	for i, in := range cfg.Inputs {
-		agents[i] = cfg.Factory(in)
-		if agents[i] == nil {
-			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
-		}
-	}
-	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
+	core, err := newCore(cfg, "concurrent")
+	if err != nil {
 		return nil, err
 	}
 	c := &Concurrent{
-		cfg:      cfg,
-		schedule: schedule,
-		agents:   agents,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		reqs:     make([]chan workerReq, len(agents)),
-		resps:    make([]chan workerResp, len(agents)),
+		core:  core,
+		reqs:  make([]chan workerReq, core.N()),
+		resps: make([]chan workerResp, core.N()),
 	}
-	if cfg.Faults != nil {
-		c.pend = newPendingStore(len(agents))
-	}
-	for i := range agents {
+	for i := range c.agents {
 		c.reqs[i] = make(chan workerReq)
 		c.resps[i] = make(chan workerResp)
 		c.wg.Add(1)
@@ -112,7 +87,7 @@ func (c *Concurrent) worker(i int) {
 	for req := range c.reqs[i] {
 		switch req.phase {
 		case phaseSend:
-			msgs, err := safeSendPhase(c.agents[i], c.cfg.Kind, i, req.outdeg)
+			msgs, err := safeSendInto(c.agents[i], c.cfg.Kind, i, req.outdeg, req.buf)
 			c.resps[i] <- workerResp{msgs: msgs, err: err}
 		case phaseReceive:
 			c.resps[i] <- workerResp{err: safeReceive(c.agents[i], i, req.inbox)}
@@ -129,14 +104,14 @@ func (c *Concurrent) worker(i int) {
 	}
 }
 
-// safeSendPhase is sendPhase with agent panics recovered into errors.
-func safeSendPhase(a model.Agent, kind model.Kind, idx, outdeg int) (msgs []model.Message, err error) {
+// safeSendInto is sendPhaseInto with agent panics recovered into errors.
+func safeSendInto(a model.Agent, kind model.Kind, idx, outdeg int, buf []model.Message) (msgs []model.Message, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			msgs, err = nil, fmt.Errorf("engine: agent %d panicked in send: %v", idx, r)
 		}
 	}()
-	return sendPhase(a, kind, idx, outdeg)
+	return sendPhaseInto(a, kind, idx, outdeg, buf)
 }
 
 // safeReceive applies the transition function with panics recovered.
@@ -150,89 +125,66 @@ func safeReceive(a model.Agent, idx int, inbox []model.Message) (err error) {
 	return nil
 }
 
-// N returns the number of agents.
-func (c *Concurrent) N() int { return len(c.agents) }
-
-// Round returns the number of completed rounds.
-func (c *Concurrent) Round() int { return c.round }
-
-// Outputs returns the current outputs. It must not be called concurrently
-// with Step; between rounds the workers are quiescent and the channel
-// synchronization makes their writes visible.
-func (c *Concurrent) Outputs() []model.Value {
-	out := make([]model.Value, len(c.agents))
-	for i, a := range c.agents {
-		out[i] = a.Output()
-	}
-	return out
-}
-
 // Step executes one round with the same semantics (and trace) as
 // Engine.Step.
-func (c *Concurrent) Step() error {
-	if c.closed {
-		return fmt.Errorf("engine: Step on closed concurrent engine")
-	}
-	t := c.round + 1
-	if err := restartAgents(c.cfg.Faults, t, c.cfg.Factory, c.cfg.Inputs, c.agents); err != nil {
-		return err
-	}
-	g, active, err := prepareRound(c.schedule, c.cfg.Kind, c.cfg.Starts, c.cfg.Faults, len(c.agents), t)
-	if err != nil {
-		return err
-	}
-	// Send phase: fan out to all active workers, then collect.
+func (c *Concurrent) Step() error { return c.step(c) }
+
+func (c *Concurrent) restart(t int) error { return c.restartAll(t) }
+
+// send fans the sending functions out to all active workers, then collects
+// the produced buffers. Every active worker is always drained, even after
+// an error, so the channels stay in lockstep.
+func (c *Concurrent) send(t int, snap *topology.Snapshot) error {
 	for i := range c.agents {
-		if active[i] {
-			c.reqs[i] <- workerReq{phase: phaseSend, outdeg: g.OutDegree(i)}
+		if c.active[i] {
+			c.reqs[i] <- workerReq{phase: phaseSend, outdeg: snap.OutDegree(i), buf: c.sent[i]}
+		} else {
+			c.sent[i] = c.sent[i][:0]
 		}
 	}
-	sent := make([][]model.Message, len(c.agents))
 	var firstErr error
 	for i := range c.agents {
-		if !active[i] {
+		if !c.active[i] {
 			continue
 		}
 		resp := <-c.resps[i]
 		if resp.err != nil && firstErr == nil {
 			firstErr = resp.err
 		}
-		sent[i] = resp.msgs
+		c.sent[i] = resp.msgs
 	}
-	if firstErr != nil {
-		return firstErr
-	}
-	// Routing, shared with the sequential engine.
-	inboxes, err := deliverRound(g, c.cfg.Kind, active, sent, t, c.cfg.Faults, c.pend, &c.faults, nil)
+	return firstErr
+}
+
+// exchange routes and shuffles on the engine goroutine, shared with the
+// sequential engine.
+func (c *Concurrent) exchange(t int, snap *topology.Snapshot) error {
+	delivered, err := c.deliverRange(snap, t, 0, c.N(), &c.faults)
 	if err != nil {
 		return err
 	}
+	c.messages += delivered
+	c.shuffleAll()
+	return nil
+}
+
+// receive fans the transition functions out to all active workers.
+func (c *Concurrent) receive(t int, snap *topology.Snapshot) error {
 	for i := range c.agents {
-		if active[i] {
-			c.messages += int64(len(inboxes[i]))
-			shuffleMessages(inboxes[i], c.rng)
+		if c.active[i] {
+			c.reqs[i] <- workerReq{phase: phaseReceive, inbox: c.inboxes[i]}
 		}
 	}
-	// Receive phase.
+	var firstErr error
 	for i := range c.agents {
-		if active[i] {
-			c.reqs[i] <- workerReq{phase: phaseReceive, inbox: inboxes[i]}
-		}
-	}
-	for i := range c.agents {
-		if !active[i] {
+		if !c.active[i] {
 			continue
 		}
-		resp := <-c.resps[i]
-		if resp.err != nil && firstErr == nil {
+		if resp := <-c.resps[i]; resp.err != nil && firstErr == nil {
 			firstErr = resp.err
 		}
 	}
-	if firstErr != nil {
-		return firstErr
-	}
-	c.round = t
-	return nil
+	return firstErr
 }
 
 // Corrupt scrambles every Corruptible agent's state, through the workers so
@@ -251,11 +203,6 @@ func (c *Concurrent) Corrupt(junk int64) int {
 		}
 	}
 	return count
-}
-
-// Stats returns cumulative execution statistics.
-func (c *Concurrent) Stats() Stats {
-	return Stats{Rounds: c.round, MessagesDelivered: c.messages, Faults: c.faults}
 }
 
 // Close stops the worker goroutines. It is idempotent.

@@ -5,74 +5,20 @@
 //
 // Four interchangeable runners implement the semantics: a deterministic
 // sequential engine, a concurrent engine with one goroutine per agent, a
-// sharded batch engine that partitions the agents across cores and
-// delivers messages through a flattened CSR adjacency, and a vectorized
-// kernel that executes linear mass-passing algorithms (model.VectorAgent)
-// over flat float64 buffers with zero steady-state allocations. Property
-// tests assert all four produce identical traces for deterministic agents.
+// sharded batch engine that partitions the agents across cores, and a
+// vectorized kernel that executes linear mass-passing algorithms
+// (model.VectorAgent) over flat float64 buffers with zero steady-state
+// allocations. All four are thin executors over one shared round core
+// (core.go) and one topology substrate (internal/topology); property tests
+// assert they produce identical traces for deterministic agents.
 package engine
 
 import (
-	"fmt"
-	"math/rand"
-
-	"anonnet/internal/dynamic"
-	"anonnet/internal/graph"
 	"anonnet/internal/model"
+	"anonnet/internal/topology"
 )
 
-// Config describes one execution: the network, the communication model, the
-// inputs, and the algorithm (as an agent factory).
-type Config struct {
-	// Schedule is the dynamic graph 𝔾; use dynamic.NewStatic for static
-	// networks.
-	Schedule dynamic.Schedule
-	// Kind is the communication model.
-	Kind model.Kind
-	// Inputs holds one private input per agent.
-	Inputs []model.Input
-	// Factory builds the identical automaton run by every agent.
-	Factory model.Factory
-	// Seed drives the delivery-order shuffling that enforces multiset
-	// semantics. Two runs with equal Config produce equal traces.
-	Seed int64
-	// Starts optionally gives per-agent activation rounds (≥ 1) for
-	// executions with asynchronous starts (§2.2); nil means all agents
-	// start at round 1.
-	Starts []int
-	// Faults is an optional deterministic fault injector (see
-	// internal/faults). Nil means fault-free execution; the three engines
-	// then follow exactly the pre-fault code paths, so traces are
-	// bit-identical to builds without the fault layer.
-	Faults FaultInjector
-}
-
-func (c *Config) validate() error {
-	if c.Schedule == nil {
-		return fmt.Errorf("engine: nil schedule")
-	}
-	if !c.Kind.Valid() {
-		return fmt.Errorf("engine: invalid model kind %d", int(c.Kind))
-	}
-	if c.Factory == nil {
-		return fmt.Errorf("engine: nil agent factory")
-	}
-	if len(c.Inputs) != c.Schedule.N() {
-		return fmt.Errorf("engine: %d inputs for %d agents", len(c.Inputs), c.Schedule.N())
-	}
-	if c.Starts != nil && len(c.Starts) != len(c.Inputs) {
-		return fmt.Errorf("engine: %d start rounds for %d agents", len(c.Starts), len(c.Inputs))
-	}
-	for i, s := range c.Starts {
-		if s < 1 {
-			return fmt.Errorf("engine: agent %d has start round %d, want ≥ 1", i, s)
-		}
-	}
-	return nil
-}
-
-// Runner is the common interface of the sequential, concurrent, and
-// sharded engines.
+// Runner is the common interface of the four engines.
 type Runner interface {
 	// Step executes one round.
 	Step() error
@@ -105,23 +51,11 @@ type Stats struct {
 	Faults FaultStats
 }
 
-// Engine is the deterministic sequential runner.
+// Engine is the deterministic sequential runner: every pipeline stage is a
+// plain loop over the agents on the calling goroutine. It is the reference
+// executor the other three are property-tested against.
 type Engine struct {
-	cfg      Config
-	schedule dynamic.Schedule
-	agents   []model.Agent
-	round    int
-	rng      *rand.Rand
-	messages int64
-	pend     *pendingStore
-	faults   FaultStats
-
-	// Per-round buffers reused across Steps, mirroring the sharded
-	// engine's: sent[i] holds agent i's outgoing messages, inboxes[j] the
-	// deliveries to agent j. Agents only see an inbox for the duration of
-	// Receive (the model.Agent contract), so truncate-and-refill is safe.
-	sent    [][]model.Message
-	inboxes [][]model.Message
+	*core
 }
 
 var _ Runner = (*Engine)(nil)
@@ -129,203 +63,37 @@ var _ Runner = (*Engine)(nil)
 // New validates cfg, instantiates the agents, and returns a sequential
 // engine positioned before round 1.
 func New(cfg Config) (*Engine, error) {
-	if err := cfg.validate(); err != nil {
+	c, err := newCore(cfg, "sequential")
+	if err != nil {
 		return nil, err
 	}
-	schedule := cfg.Schedule
-	if cfg.Starts != nil {
-		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
-		if err != nil {
-			return nil, err
-		}
-		schedule = wrapped
-	}
-	agents := make([]model.Agent, len(cfg.Inputs))
-	for i, in := range cfg.Inputs {
-		agents[i] = cfg.Factory(in)
-		if agents[i] == nil {
-			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
-		}
-	}
-	e := &Engine{
-		cfg:      cfg,
-		schedule: schedule,
-		agents:   agents,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		sent:     make([][]model.Message, len(agents)),
-		inboxes:  make([][]model.Message, len(agents)),
-	}
-	if cfg.Faults != nil {
-		e.pend = newPendingStore(len(agents))
-	}
-	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
-		return nil, err
-	}
-	return e, nil
-}
-
-func checkAgentKinds(agents []model.Agent, kind model.Kind) error {
-	for i, a := range agents {
-		var ok bool
-		switch kind {
-		case model.SimpleBroadcast, model.Symmetric:
-			_, ok = a.(model.Broadcaster)
-		case model.OutdegreeAware:
-			_, ok = a.(model.OutdegreeSender)
-		case model.OutputPortAware:
-			_, ok = a.(model.PortSender)
-		}
-		if !ok {
-			return fmt.Errorf("engine: agent %d (%T) does not implement the sender interface of %v", i, a, kind)
-		}
-	}
-	return nil
-}
-
-// N returns the number of agents.
-func (e *Engine) N() int { return len(e.agents) }
-
-// Round returns the number of completed rounds.
-func (e *Engine) Round() int { return e.round }
-
-// Agent returns agent i, for white-box tests.
-func (e *Engine) Agent(i int) model.Agent { return e.agents[i] }
-
-// Outputs returns the current outputs x_i(t).
-func (e *Engine) Outputs() []model.Value {
-	out := make([]model.Value, len(e.agents))
-	for i, a := range e.agents {
-		out[i] = a.Output()
-	}
-	return out
-}
-
-// Close is a no-op for the sequential engine.
-func (e *Engine) Close() {}
-
-// Stats returns cumulative execution statistics.
-func (e *Engine) Stats() Stats {
-	return Stats{Rounds: e.round, MessagesDelivered: e.messages, Faults: e.faults}
-}
-
-// Corrupt scrambles every Corruptible agent's state.
-func (e *Engine) Corrupt(junk int64) int {
-	count := 0
-	for i, a := range e.agents {
-		if c, ok := a.(model.Corruptible); ok {
-			c.Corrupt(junk + int64(i)*7919)
-			count++
-		}
-	}
-	return count
+	return &Engine{core: c}, nil
 }
 
 // Step executes one round: restart, send, route (with fault fates),
 // shuffle, receive.
-func (e *Engine) Step() error {
-	t := e.round + 1
-	if err := restartAgents(e.cfg.Faults, t, e.cfg.Factory, e.cfg.Inputs, e.agents); err != nil {
-		return err
-	}
-	g, active, err := e.roundGraph(t)
+func (e *Engine) Step() error { return e.step(e) }
+
+// Close is a no-op for the sequential engine.
+func (e *Engine) Close() {}
+
+func (e *Engine) restart(t int) error { return e.restartAll(t) }
+
+func (e *Engine) send(t int, snap *topology.Snapshot) error {
+	return e.sendRange(snap, 0, e.N())
+}
+
+func (e *Engine) exchange(t int, snap *topology.Snapshot) error {
+	delivered, err := e.deliverRange(snap, t, 0, e.N(), &e.faults)
 	if err != nil {
 		return err
 	}
-	for i, a := range e.agents {
-		if !active[i] {
-			e.sent[i] = e.sent[i][:0]
-			continue
-		}
-		msgs, err := sendPhaseInto(a, e.cfg.Kind, i, g.OutDegree(i), e.sent[i])
-		if err != nil {
-			return err
-		}
-		e.sent[i] = msgs
-	}
-	inboxes, err := deliverRound(g, e.cfg.Kind, active, e.sent, t, e.cfg.Faults, e.pend, &e.faults, e.inboxes)
-	if err != nil {
-		return err
-	}
-	e.inboxes = inboxes
-	for i := range e.agents {
-		if !active[i] {
-			continue
-		}
-		e.messages += int64(len(inboxes[i]))
-		shuffleMessages(inboxes[i], e.rng)
-	}
-	for i, a := range e.agents {
-		if active[i] {
-			a.Receive(inboxes[i])
-		}
-	}
-	e.round = t
+	e.messages += delivered
+	e.shuffleAll()
 	return nil
 }
 
-// roundGraph fetches and validates the round-t communication graph and the
-// activity mask.
-func (e *Engine) roundGraph(t int) (*graph.Graph, []bool, error) {
-	return prepareRound(e.schedule, e.cfg.Kind, e.cfg.Starts, e.cfg.Faults, len(e.agents), t)
-}
-
-func prepareRound(s dynamic.Schedule, kind model.Kind, starts []int, inj FaultInjector, n, t int) (*graph.Graph, []bool, error) {
-	g := s.At(t)
-	if g == nil {
-		return nil, nil, fmt.Errorf("engine: schedule returned nil graph at round %d", t)
-	}
-	if g.N() != n {
-		return nil, nil, fmt.Errorf("engine: round %d graph has %d vertices, want %d", t, g.N(), n)
-	}
-	if !g.HasSelfLoops() {
-		return nil, nil, fmt.Errorf("engine: round %d graph lacks self-loops (§2.1 requires them)", t)
-	}
-	if kind == model.Symmetric && !g.IsSymmetric() {
-		return nil, nil, fmt.Errorf("engine: round %d graph is not symmetric but the model is %v", t, kind)
-	}
-	if kind == model.OutputPortAware && !g.PortsValid() {
-		return nil, nil, fmt.Errorf("engine: round %d graph has no valid port labelling (use Graph.AssignPorts)", t)
-	}
-	active := make([]bool, n)
-	for i := range active {
-		active[i] = starts == nil || t >= starts[i]
-	}
-	applyStalls(inj, t, active)
-	return g, active, nil
-}
-
-// sendPhase applies the model's sending function.
-func sendPhase(a model.Agent, kind model.Kind, idx, outdeg int) ([]model.Message, error) {
-	switch kind {
-	case model.SimpleBroadcast, model.Symmetric:
-		b, ok := a.(model.Broadcaster)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not a Broadcaster", idx, a)
-		}
-		return []model.Message{b.Send()}, nil
-	case model.OutdegreeAware:
-		s, ok := a.(model.OutdegreeSender)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not an OutdegreeSender", idx, a)
-		}
-		return []model.Message{s.SendOutdegree(outdeg)}, nil
-	case model.OutputPortAware:
-		s, ok := a.(model.PortSender)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not a PortSender", idx, a)
-		}
-		msgs := s.SendPorts(outdeg)
-		if len(msgs) != outdeg {
-			return nil, fmt.Errorf("engine: agent %d returned %d port messages, want %d", idx, len(msgs), outdeg)
-		}
-		return msgs, nil
-	default:
-		return nil, fmt.Errorf("engine: invalid model kind %d", int(kind))
-	}
-}
-
-// shuffleMessages randomizes delivery order so agents cannot rely on any
-// ordering of the received multiset.
-func shuffleMessages(msgs []model.Message, rng *rand.Rand) {
-	rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+func (e *Engine) receive(t int, snap *topology.Snapshot) error {
+	e.receiveRange(0, e.N())
+	return nil
 }

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"anonnet/internal/graph"
 	"anonnet/internal/model"
 )
 
@@ -170,58 +169,4 @@ func applyFate(f Fate, m model.Message, t, dst int, inbox *[]model.Message, pend
 	for c := 0; c < copies; c++ {
 		*inbox = append(*inbox, m)
 	}
-}
-
-// deliverRound routes the already-produced messages of round t into
-// per-agent inboxes, applying fault fates and flushing due delayed
-// messages. It reproduces the sequential engine's inbox fill order exactly
-// (sources ascending, edge insertion order, then pending deliveries), and
-// is shared by the sequential and concurrent engines; the sharded engine
-// implements the same order through its destination-major CSR layout.
-// into, when non-nil, supplies caller-owned inbox slices whose backing
-// arrays are truncated and reused — the sequential engine passes its
-// persistent buffers so the steady state reallocates nothing; nil
-// allocates fresh inboxes (the concurrent engine, whose worker goroutines
-// hold the slices across the receive barrier).
-func deliverRound(g *graph.Graph, kind model.Kind, active []bool, sent [][]model.Message, t int, inj FaultInjector, pend *pendingStore, fs *FaultStats, into [][]model.Message) ([][]model.Message, error) {
-	n := g.N()
-	inboxes := into
-	if inboxes == nil {
-		inboxes = make([][]model.Message, n)
-	} else {
-		for i := range inboxes {
-			inboxes[i] = inboxes[i][:0]
-		}
-	}
-	for i := 0; i < n; i++ {
-		if !active[i] {
-			continue
-		}
-		for _, ei := range g.OutEdges(i) {
-			e := g.Edge(ei)
-			if !active[e.To] {
-				continue
-			}
-			var m model.Message
-			if kind == model.OutputPortAware {
-				if e.Port < 1 || e.Port > len(sent[i]) {
-					return nil, fmt.Errorf("engine: agent %d: edge port %d out of range 1..%d", i, e.Port, len(sent[i]))
-				}
-				m = sent[i][e.Port-1]
-			} else {
-				m = sent[i][0]
-			}
-			if inj == nil || e.From == e.To {
-				inboxes[e.To] = append(inboxes[e.To], m)
-				continue
-			}
-			applyFate(inj.MessageFate(t, e.From, e.To), m, t, e.To, &inboxes[e.To], pend, fs)
-		}
-	}
-	if pend != nil {
-		for j := 0; j < n; j++ {
-			inboxes[j] = pend.flush(j, t, inboxes[j], active[j])
-		}
-	}
-	return inboxes, nil
 }

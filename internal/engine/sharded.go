@@ -2,197 +2,69 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 
-	"anonnet/internal/dynamic"
-	"anonnet/internal/graph"
-	"anonnet/internal/model"
+	"anonnet/internal/topology"
 )
 
 // Sharded is the batch runner for large networks: agents are partitioned
-// into contiguous shards (one per core by default), the round graph is
-// flattened once into a CSR-style destination-major layout, and messages
-// are delivered shard-to-shard through preallocated buffers that are reused
-// round over round — no per-agent channels, no per-round inbox allocation.
-// Each phase of a round (send, deliver, receive) fans the shards out over
-// goroutines and joins them on a single sync.WaitGroup barrier.
+// into contiguous shards (one per core by default), and each pipeline
+// stage fans the shards out over goroutines and joins them on a single
+// sync.WaitGroup barrier — no per-agent channels, no per-round inbox
+// allocation. Delivery runs destination-major over the shared topology
+// snapshot: each destination is owned by exactly one shard, so shards fill
+// their own agents' inboxes from shard-to-shard reads of the sent buffers
+// without locks.
 //
-// The observable behaviour is identical to the sequential Engine and the
-// Concurrent runner for equal Config: the delivery order per inbox follows
-// the sequential engine's source-major fill order, and the multiset shuffle
-// consumes the shared seeded RNG in agent-index order, so traces are equal
-// byte for byte. The property tests in sharded_test.go assert this across
-// all five algorithm packages and arbitrary shard counts, including counts
-// that do not divide n.
+// The observable behaviour is identical to the sequential Engine for equal
+// Config: the core's delivery order and the serial seeded shuffle are the
+// same code, so traces are equal byte for byte. The property tests in
+// sharded_test.go assert this across all five algorithm packages and
+// arbitrary shard counts, including counts that do not divide n.
 //
 // Inbox slices handed to Agent.Receive are owned by the engine and reused
 // in later rounds; agents must copy anything they retain (every agent in
 // this repository already does — the model contract only promises the slice
 // for the duration of Receive).
 type Sharded struct {
-	cfg      Config
-	schedule dynamic.Schedule
-	agents   []model.Agent
-	round    int
-	rng      *rand.Rand
-	shards   int
-	closed   bool
-	messages int64
-
-	// Reused per-round buffers.
-	sent    [][]model.Message // sent[i]: messages produced by agent i this round
-	inboxes [][]model.Message // inboxes[j]: deliveries to agent j this round
-	active  []bool
-	allOn   bool // Starts == nil: the activity mask is constant true
+	*core
+	shards int
 
 	// shardErr[k] is the first error shard k hit in the current phase.
 	shardErr []error
 	// shardMsgs[k] counts deliveries made by shard k in the current round.
 	shardMsgs []int64
 	// shardFaults[k] counts fault applications by shard k in the current
-	// round; summed into faults after the delivery barrier.
+	// round; summed into the core's totals after the delivery barrier.
 	shardFaults []FaultStats
-	pend        *pendingStore
-	faults      FaultStats
-
-	// adj is the flattened adjacency of the last round graph, rebuilt only
-	// when the schedule hands out a different *graph.Graph. Static
-	// schedules therefore pay the build and the §2.1 validation exactly
-	// once; dynamic schedules recycle the backing arrays through adjPool.
-	adj     *csrAdjacency
-	adjFor  *graph.Graph
-	adjPool sync.Pool
 }
 
 var _ Runner = (*Sharded)(nil)
-
-// csrAdjacency is a round graph flattened destination-major: the deliveries
-// into agent j occupy entries start[j]..start[j+1], each naming the source
-// agent and the index into the source's sent buffer (port−1 under output
-// port awareness, 0 otherwise). Within a destination, entries follow the
-// sequential engine's fill order — sources ascending, edges in insertion
-// order — which is what makes the traces equal.
-type csrAdjacency struct {
-	start  []int32
-	src    []int32
-	slot   []int32
-	port   []int32 // original port label, for error messages
-	outdeg []int32
-	// scratch for the counting sorts in build.
-	srcStart []int32
-	bykey    []int32
-	fill     []int32
-}
 
 // NewSharded validates cfg, instantiates the agents, and returns a sharded
 // engine with the given shard count (≤ 0 selects runtime.GOMAXPROCS(0)).
 // Shard counts need not divide the agent count; counts above it leave some
 // shards empty.
 func NewSharded(cfg Config, shards int) (*Sharded, error) {
-	if err := cfg.validate(); err != nil {
+	core, err := newCore(cfg, "sharded")
+	if err != nil {
 		return nil, err
 	}
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	schedule := cfg.Schedule
-	if cfg.Starts != nil {
-		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
-		if err != nil {
-			return nil, err
-		}
-		schedule = wrapped
-	}
-	agents := make([]model.Agent, len(cfg.Inputs))
-	for i, in := range cfg.Inputs {
-		agents[i] = cfg.Factory(in)
-		if agents[i] == nil {
-			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
-		}
-	}
-	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
-		return nil, err
-	}
-	n := len(agents)
-	s := &Sharded{
-		cfg:       cfg,
-		schedule:  schedule,
-		agents:    agents,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		shards:    shards,
-		sent:      make([][]model.Message, n),
-		inboxes:   make([][]model.Message, n),
-		active:    make([]bool, n),
-		allOn:     cfg.Starts == nil,
-		shardErr:  make([]error, shards),
-		shardMsgs: make([]int64, shards),
-	}
-	if cfg.Faults != nil {
-		s.pend = newPendingStore(n)
-		s.shardFaults = make([]FaultStats, shards)
-	}
-	s.adjPool.New = func() any { return new(csrAdjacency) }
-	if s.allOn {
-		for i := range s.active {
-			s.active[i] = true
-		}
-	}
-	return s, nil
+	return &Sharded{
+		core:        core,
+		shards:      shards,
+		shardErr:    make([]error, shards),
+		shardMsgs:   make([]int64, shards),
+		shardFaults: make([]FaultStats, shards),
+	}, nil
 }
-
-// N returns the number of agents.
-func (s *Sharded) N() int { return len(s.agents) }
-
-// Round returns the number of completed rounds.
-func (s *Sharded) Round() int { return s.round }
 
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return s.shards }
-
-// Agent returns agent i, for white-box tests.
-func (s *Sharded) Agent(i int) model.Agent { return s.agents[i] }
-
-// Outputs returns the current outputs x_i(t).
-func (s *Sharded) Outputs() []model.Value {
-	out := make([]model.Value, len(s.agents))
-	for i, a := range s.agents {
-		out[i] = a.Output()
-	}
-	return out
-}
-
-// Stats returns cumulative execution statistics.
-func (s *Sharded) Stats() Stats {
-	return Stats{Rounds: s.round, MessagesDelivered: s.messages, Faults: s.faults}
-}
-
-// Corrupt scrambles every Corruptible agent's state. Between rounds the
-// shards are quiescent, so the engine owns every agent.
-func (s *Sharded) Corrupt(junk int64) int {
-	if s.closed {
-		return 0
-	}
-	count := 0
-	for i, a := range s.agents {
-		if c, ok := a.(model.Corruptible); ok {
-			c.Corrupt(junk + int64(i)*7919)
-			count++
-		}
-	}
-	return count
-}
-
-// Close releases the buffers. It is idempotent; Step after Close fails.
-func (s *Sharded) Close() {
-	if s.closed {
-		return
-	}
-	s.closed = true
-	s.adj, s.adjFor = nil, nil
-	s.sent, s.inboxes = nil, nil
-}
 
 // shardRange returns the half-open agent range of shard k: contiguous
 // blocks of ⌈n/shards⌉-or-⌊n/shards⌋ agents, empty when shards > n.
@@ -201,9 +73,10 @@ func shardRange(n, shards, k int) (lo, hi int) {
 }
 
 // forShards runs fn(k, lo, hi) on every non-empty shard concurrently and
-// joins them on one WaitGroup barrier.
+// joins them on one WaitGroup barrier. Panics in agent code are recovered
+// into the shard's error slot.
 func (s *Sharded) forShards(fn func(k, lo, hi int)) {
-	n := len(s.agents)
+	n := s.N()
 	var wg sync.WaitGroup
 	for k := 0; k < s.shards; k++ {
 		lo, hi := shardRange(n, s.shards, k)
@@ -240,80 +113,30 @@ func (s *Sharded) firstShardErr() error {
 // Step executes one round with the same semantics (and trace) as
 // Engine.Step: parallel send, parallel destination-major delivery, serial
 // seeded shuffle, parallel receive.
-func (s *Sharded) Step() error {
-	if s.closed {
-		return fmt.Errorf("engine: Step on closed sharded engine")
-	}
-	t := s.round + 1
-	if err := restartAgents(s.cfg.Faults, t, s.cfg.Factory, s.cfg.Inputs, s.agents); err != nil {
-		return err
-	}
-	if err := s.roundGraph(t); err != nil {
-		return err
-	}
-	adj := s.adj
-	kind := s.cfg.Kind
+func (s *Sharded) Step() error { return s.step(s) }
 
-	// Send phase: each shard drives its agents' sending functions, reusing
-	// the per-agent sent buffers (a fresh 1-slot append for the broadcast
-	// models; the port model's slice comes from the agent).
+func (s *Sharded) restart(t int) error { return s.restartAll(t) }
+
+// send drives each shard's agents' sending functions behind the barrier.
+func (s *Sharded) send(t int, snap *topology.Snapshot) error {
 	s.forShards(func(k, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if !s.active[i] {
-				s.sent[i] = s.sent[i][:0]
-				continue
-			}
-			msgs, err := sendPhaseInto(s.agents[i], kind, i, int(adj.outdeg[i]), s.sent[i])
-			if err != nil {
-				s.shardErr[k] = err
-				return
-			}
-			s.sent[i] = msgs
+		if err := s.sendRange(snap, lo, hi); err != nil {
+			s.shardErr[k] = err
 		}
 	})
-	if err := s.firstShardErr(); err != nil {
-		return err
-	}
+	return s.firstShardErr()
+}
 
-	// Delivery phase: each shard fills the inboxes of its own agents from
-	// the flat adjacency — shard-to-shard reads of the sent buffers, no
-	// locks needed because sent is read-only between the barriers. Fault
-	// fates are pure functions of (round, src, dst), so evaluating them
-	// from shard goroutines yields the same outcomes as the sequential
-	// engine; each destination is owned by exactly one shard, so the
-	// pending store's per-destination queues need no locking either.
-	inj := s.cfg.Faults
+// exchange delivers destination-major per shard — fault fates are pure
+// functions of (round, src, dst), so evaluating them from shard goroutines
+// yields the same outcomes as the sequential engine — then sums the
+// per-shard counters and runs the serial seeded shuffle.
+func (s *Sharded) exchange(t int, snap *topology.Snapshot) error {
 	s.forShards(func(k, lo, hi int) {
-		var delivered int64
-		for j := lo; j < hi; j++ {
-			inbox := s.inboxes[j][:0]
-			if s.active[j] {
-				for e := adj.start[j]; e < adj.start[j+1]; e++ {
-					src := adj.src[e]
-					if !s.active[src] {
-						continue
-					}
-					slot := adj.slot[e]
-					if slot < 0 || int(slot) >= len(s.sent[src]) {
-						s.shardErr[k] = fmt.Errorf("engine: agent %d: edge port %d out of range 1..%d",
-							src, adj.port[e], len(s.sent[src]))
-						return
-					}
-					m := s.sent[src][slot]
-					if inj == nil || int(src) == j {
-						inbox = append(inbox, m)
-						continue
-					}
-					applyFate(inj.MessageFate(t, int(src), j), m, t, j, &inbox, s.pend, &s.shardFaults[k])
-				}
-			}
-			if s.pend != nil {
-				inbox = s.pend.flush(j, t, inbox, s.active[j])
-			}
-			if s.active[j] {
-				delivered += int64(len(inbox))
-			}
-			s.inboxes[j] = inbox
+		delivered, err := s.deliverRange(snap, t, lo, hi, &s.shardFaults[k])
+		if err != nil {
+			s.shardErr[k] = err
+			return
 		}
 		s.shardMsgs[k] = delivered
 	})
@@ -323,173 +146,18 @@ func (s *Sharded) Step() error {
 	for k := range s.shardMsgs {
 		s.messages += s.shardMsgs[k]
 		s.shardMsgs[k] = 0
-	}
-	for k := range s.shardFaults {
 		s.faults.add(s.shardFaults[k])
 		s.shardFaults[k] = FaultStats{}
 	}
+	s.shuffleAll()
+	return nil
+}
 
-	// Multiset shuffle: a serial pass in agent-index order over the shared
-	// seeded RNG — the one part of the round that cannot parallelize
-	// without changing the trace. It is O(total messages) with no agent
-	// code on the path.
-	for j := range s.inboxes {
-		if s.active[j] {
-			shuffleMessages(s.inboxes[j], s.rng)
-		}
-	}
-
-	// Receive phase: each shard applies its agents' transition functions.
+// receive applies each shard's agents' transition functions behind the
+// barrier.
+func (s *Sharded) receive(t int, snap *topology.Snapshot) error {
 	s.forShards(func(k, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			if s.active[j] {
-				s.agents[j].Receive(s.inboxes[j])
-			}
-		}
+		s.receiveRange(lo, hi)
 	})
-	if err := s.firstShardErr(); err != nil {
-		return err
-	}
-	s.round = t
-	return nil
-}
-
-// roundGraph fetches the round-t graph, revalidates and reflattens it only
-// when it differs from the previous round's, and refreshes the activity
-// mask.
-func (s *Sharded) roundGraph(t int) error {
-	if !s.allOn || s.cfg.Faults != nil {
-		for i := range s.active {
-			s.active[i] = s.cfg.Starts == nil || t >= s.cfg.Starts[i]
-		}
-		applyStalls(s.cfg.Faults, t, s.active)
-	}
-	g := s.schedule.At(t)
-	if g == nil {
-		return fmt.Errorf("engine: schedule returned nil graph at round %d", t)
-	}
-	if g == s.adjFor {
-		return nil
-	}
-	if g.N() != len(s.agents) {
-		return fmt.Errorf("engine: round %d graph has %d vertices, want %d", t, g.N(), len(s.agents))
-	}
-	if !g.HasSelfLoops() {
-		return fmt.Errorf("engine: round %d graph lacks self-loops (§2.1 requires them)", t)
-	}
-	if s.cfg.Kind == model.Symmetric && !g.IsSymmetric() {
-		return fmt.Errorf("engine: round %d graph is not symmetric but the model is %v", t, s.cfg.Kind)
-	}
-	if s.cfg.Kind == model.OutputPortAware && !g.PortsValid() {
-		return fmt.Errorf("engine: round %d graph has no valid port labelling (use Graph.AssignPorts)", t)
-	}
-	// Recycle the outgoing adjacency's arrays through the pool so dynamic
-	// schedules do not reallocate the flat layout every round.
-	if s.adj != nil {
-		s.adjPool.Put(s.adj)
-	}
-	adj := s.adjPool.Get().(*csrAdjacency)
-	adj.build(g, s.cfg.Kind)
-	s.adj, s.adjFor = adj, g
-	return nil
-}
-
-// grow returns b resized to length n, reusing its backing array when the
-// capacity allows.
-func grow(b []int32, n int) []int32 {
-	if cap(b) < n {
-		return make([]int32, n)
-	}
-	return b[:n]
-}
-
-// build flattens g destination-major. Two stable counting sorts order the
-// edges by (source, insertion index) and then bucket them per destination,
-// reproducing exactly the order in which the sequential engine appends to
-// each inbox.
-func (a *csrAdjacency) build(g *graph.Graph, kind model.Kind) {
-	n, m := g.N(), g.M()
-	a.start = grow(a.start, n+1)
-	a.src = grow(a.src, m)
-	a.slot = grow(a.slot, m)
-	a.port = grow(a.port, m)
-	a.outdeg = grow(a.outdeg, n)
-	a.srcStart = grow(a.srcStart, n+1)
-	a.bykey = grow(a.bykey, m)
-	a.fill = grow(a.fill, n)
-
-	// Pass 1: order edge indices by (From, index) — stable counting sort.
-	for i := 0; i < n; i++ {
-		a.srcStart[i] = 0
-	}
-	a.srcStart[n] = 0
-	for e := 0; e < m; e++ {
-		a.srcStart[g.Edge(e).From+1]++
-	}
-	for i := 0; i < n; i++ {
-		a.srcStart[i+1] += a.srcStart[i]
-		a.outdeg[i] = a.srcStart[i+1] - a.srcStart[i]
-		a.fill[i] = 0
-	}
-	for e := 0; e < m; e++ {
-		from := g.Edge(e).From
-		a.bykey[a.srcStart[from]+a.fill[from]] = int32(e)
-		a.fill[from]++
-	}
-
-	// Pass 2: bucket the source-ordered edges per destination.
-	for j := 0; j < n; j++ {
-		a.start[j] = 0
-		a.fill[j] = 0
-	}
-	a.start[n] = 0
-	for e := 0; e < m; e++ {
-		a.start[g.Edge(e).To+1]++
-	}
-	for j := 0; j < n; j++ {
-		a.start[j+1] += a.start[j]
-	}
-	for _, ei := range a.bykey[:m] {
-		e := g.Edge(int(ei))
-		pos := a.start[e.To] + a.fill[e.To]
-		a.fill[e.To]++
-		a.src[pos] = int32(e.From)
-		a.port[pos] = int32(e.Port)
-		if kind == model.OutputPortAware {
-			a.slot[pos] = int32(e.Port - 1)
-		} else {
-			a.slot[pos] = 0
-		}
-	}
-}
-
-// sendPhaseInto is sendPhase with a caller-provided buffer for the
-// single-message models, avoiding a per-agent-per-round allocation.
-func sendPhaseInto(a model.Agent, kind model.Kind, idx, outdeg int, buf []model.Message) ([]model.Message, error) {
-	switch kind {
-	case model.SimpleBroadcast, model.Symmetric:
-		b, ok := a.(model.Broadcaster)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not a Broadcaster", idx, a)
-		}
-		return append(buf[:0], b.Send()), nil
-	case model.OutdegreeAware:
-		sd, ok := a.(model.OutdegreeSender)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not an OutdegreeSender", idx, a)
-		}
-		return append(buf[:0], sd.SendOutdegree(outdeg)), nil
-	case model.OutputPortAware:
-		sp, ok := a.(model.PortSender)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not a PortSender", idx, a)
-		}
-		msgs := sp.SendPorts(outdeg)
-		if len(msgs) != outdeg {
-			return nil, fmt.Errorf("engine: agent %d returned %d port messages, want %d", idx, len(msgs), outdeg)
-		}
-		return msgs, nil
-	default:
-		return nil, fmt.Errorf("engine: invalid model kind %d", int(kind))
-	}
+	return s.firstShardErr()
 }

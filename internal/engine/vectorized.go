@@ -5,66 +5,52 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
-	"anonnet/internal/dynamic"
-	"anonnet/internal/graph"
 	"anonnet/internal/model"
+	"anonnet/internal/topology"
 )
 
 // Vectorized is the zero-allocation kernel runner for linear mass-passing
 // algorithms: agents implementing model.VectorAgent expose their round
 // message as a fixed-width float64 tuple, and the engine executes rounds
 // entirely over two flat n·width SoA buffers — one for the sent rows, one
-// for the per-destination sums — with a CSR scatter-add over the same
-// destination-major adjacency the sharded engine uses. No message is ever
-// boxed into an interface and the steady-state round loop performs zero
-// heap allocations (asserted by tests and the bench-smoke CI job).
+// for the per-destination sums — with a gather over the shared topology
+// snapshot's destination-major layout. No message is ever boxed into an
+// interface and the steady-state round loop performs zero heap allocations
+// (asserted by tests and the bench-smoke CI job).
 //
 // The observable behaviour is identical to the sequential Engine for equal
 // Config: per destination, the contributing rows are gathered in the
-// sequential engine's inbox fill order (sources ascending, edge insertion
-// order, then due delayed deliveries), permuted by the shared seeded RNG
-// with exactly the rand.Shuffle call the generic engines make, and summed
-// in the permuted order — so float rounding, and hence traces, agree byte
-// for byte. Property tests in vectorized_test.go assert this across seeds,
+// delivery-order invariant (sources ascending, edge insertion order, then
+// due delayed deliveries), permuted by the shared seeded RNG with exactly
+// the rand.Shuffle call the generic engines make, and summed in the
+// permuted order — so float rounding, and hence traces, agree byte for
+// byte. Property tests in vectorized_test.go assert this across seeds,
 // models, async starts, and fault plans.
 type Vectorized struct {
-	cfg      Config
-	schedule dynamic.Schedule
-	agents   []model.Agent
+	*core
 	vecs     []model.VectorAgent // the same agents, through the vector contract
 	width    int
 	universe []float64
-	round    int
-	rng      *rand.Rand
-	messages int64
-	faults   FaultStats
-	closed   bool
 
 	// Double-buffered flat SoA state: agent i's outgoing message occupies
-	// sent[i·w : (i+1)·w]; destination j's component-wise sum accumulates in
-	// sums[j·w : (j+1)·w]. Both are reused round over round.
-	sent   []float64
+	// rows[i·w : (i+1)·w]; destination j's component-wise sum accumulates
+	// in sums[j·w : (j+1)·w]. Both are reused round over round.
+	rows   []float64
 	sums   []float64
 	counts []int32
-	active []bool
-	allOn  bool
 
 	// gather is the per-destination contribution list, reused across
-	// destinations and rounds: entries ≥ 0 index a source agent's sent row,
-	// entries < 0 are ^k for row k of late (delayed messages come due).
+	// destinations and rounds: entries ≥ 0 index a source agent's sent
+	// row, entries < 0 are ^k for row k of late (delayed messages come
+	// due).
 	gather []int32
 	// late holds the rows of delayed messages flushed for the current
-	// destination; the sent buffer is rewritten next round, so delayed rows
-	// must be copied out of it and live here until summed.
+	// destination; the rows buffer is rewritten next round, so delayed
+	// rows must be copied out of it and live here until summed.
 	late []float64
 
-	pend *vecPending
-
-	adj     *csrAdjacency
-	adjFor  *graph.Graph
-	adjPool sync.Pool
+	vpend *vecPending
 }
 
 var _ Runner = (*Vectorized)(nil)
@@ -88,24 +74,15 @@ func NewVectorized(cfg Config) (*Vectorized, error) {
 	if cfg.Kind == model.OutputPortAware {
 		return nil, fmt.Errorf("%w: the output-port model sends one message per port, not one fixed-width vector", ErrNotVectorizable)
 	}
-	schedule := cfg.Schedule
-	if cfg.Starts != nil {
-		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
-		if err != nil {
-			return nil, err
-		}
-		schedule = wrapped
+	core, err := newCore(cfg, "vectorized")
+	if err != nil {
+		return nil, err
 	}
+	n := core.N()
 	universe := universeOf(cfg.Inputs)
-	n := len(cfg.Inputs)
-	agents := make([]model.Agent, n)
 	vecs := make([]model.VectorAgent, n)
 	width := 0
-	for i, in := range cfg.Inputs {
-		a := cfg.Factory(in)
-		if a == nil {
-			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
-		}
+	for i, a := range core.agents {
 		va, ok := a.(model.VectorAgent)
 		if !ok {
 			return nil, fmt.Errorf("%w: agent %d (%T) does not implement model.VectorAgent", ErrNotVectorizable, i, a)
@@ -119,33 +96,19 @@ func NewVectorized(cfg Config) (*Vectorized, error) {
 		} else if w != width {
 			return nil, fmt.Errorf("engine: agent %d reports vector width %d, agent 0 reported %d", i, w, width)
 		}
-		agents[i], vecs[i] = a, va
-	}
-	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
-		return nil, err
+		vecs[i] = va
 	}
 	v := &Vectorized{
-		cfg:      cfg,
-		schedule: schedule,
-		agents:   agents,
+		core:     core,
 		vecs:     vecs,
 		width:    width,
 		universe: universe,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		sent:     make([]float64, n*width),
+		rows:     make([]float64, n*width),
 		sums:     make([]float64, n*width),
 		counts:   make([]int32, n),
-		active:   make([]bool, n),
-		allOn:    cfg.Starts == nil,
 	}
 	if cfg.Faults != nil {
-		v.pend = newVecPending(n, width)
-	}
-	v.adjPool.New = func() any { return new(csrAdjacency) }
-	if v.allOn {
-		for i := range v.active {
-			v.active[i] = true
-		}
+		v.vpend = newVecPending(n, width)
 	}
 	return v, nil
 }
@@ -184,101 +147,75 @@ func universeOf(inputs []model.Input) []float64 {
 	return u
 }
 
-// N returns the number of agents.
-func (v *Vectorized) N() int { return len(v.agents) }
-
-// Round returns the number of completed rounds.
-func (v *Vectorized) Round() int { return v.round }
-
 // Width returns the per-message vector width, for white-box tests.
 func (v *Vectorized) Width() int { return v.width }
-
-// Agent returns agent i, for white-box tests.
-func (v *Vectorized) Agent(i int) model.Agent { return v.agents[i] }
-
-// Outputs returns the current outputs x_i(t).
-func (v *Vectorized) Outputs() []model.Value {
-	out := make([]model.Value, len(v.agents))
-	for i, a := range v.agents {
-		out[i] = a.Output()
-	}
-	return out
-}
-
-// Stats returns cumulative execution statistics.
-func (v *Vectorized) Stats() Stats {
-	return Stats{Rounds: v.round, MessagesDelivered: v.messages, Faults: v.faults}
-}
-
-// Corrupt scrambles every Corruptible agent's state.
-func (v *Vectorized) Corrupt(junk int64) int {
-	if v.closed {
-		return 0
-	}
-	count := 0
-	for i, a := range v.agents {
-		if c, ok := a.(model.Corruptible); ok {
-			c.Corrupt(junk + int64(i)*7919)
-			count++
-		}
-	}
-	return count
-}
-
-// Close releases the buffers. It is idempotent; Step after Close fails.
-func (v *Vectorized) Close() {
-	if v.closed {
-		return
-	}
-	v.closed = true
-	v.adj, v.adjFor = nil, nil
-	v.sent, v.sums, v.gather, v.late = nil, nil, nil, nil
-}
 
 // Step executes one round with the same semantics (and trace) as
 // Engine.Step: restart, send into the flat rows, destination-major gather
 // with fault fates, seeded shuffle of the contribution order, scatter-add,
 // receive.
-func (v *Vectorized) Step() error {
-	if v.closed {
-		return fmt.Errorf("engine: Step on closed vectorized engine")
-	}
-	t := v.round + 1
-	if err := v.restart(t); err != nil {
-		return err
-	}
-	if err := v.roundGraph(t); err != nil {
-		return err
-	}
-	adj, w, inj := v.adj, v.width, v.cfg.Faults
+func (v *Vectorized) Step() error { return v.step(v) }
 
-	// Send phase: each active agent writes its row of the flat sent buffer.
+// restart applies the crash-restart channel, re-initializing rebuilt agents
+// through the vector contract so their width commitment stays intact.
+func (v *Vectorized) restart(t int) error {
+	inj := v.cfg.Faults
+	if inj == nil {
+		return nil
+	}
+	for i := range v.agents {
+		if !inj.Restart(t, i) {
+			continue
+		}
+		a := v.cfg.Factory(v.cfg.Inputs[i])
+		if a == nil {
+			return fmt.Errorf("engine: factory returned nil agent restarting agent %d at round %d", i, t)
+		}
+		va, ok := a.(model.VectorAgent)
+		if !ok {
+			return fmt.Errorf("engine: restarted agent %d (%T) does not implement model.VectorAgent", i, a)
+		}
+		if w := va.InitVector(v.universe); w != v.width {
+			return fmt.Errorf("engine: restarted agent %d reports vector width %d, want %d", i, w, v.width)
+		}
+		v.agents[i], v.vecs[i] = a, va
+	}
+	return nil
+}
+
+// send has each active agent write its row of the flat rows buffer.
+func (v *Vectorized) send(t int, snap *topology.Snapshot) error {
+	w := v.width
 	for i, va := range v.vecs {
 		if v.active[i] {
-			va.SendVector(int(adj.outdeg[i]), v.sent[i*w:(i+1)*w:(i+1)*w])
+			va.SendVector(snap.OutDegree(i), v.rows[i*w:(i+1)*w:(i+1)*w])
 		}
 	}
+	return nil
+}
 
-	// Delivery phase, destination-major like the sharded engine: gather the
-	// contributing rows of destination j in the sequential engine's inbox
-	// fill order, apply fault fates (self-loops exempt), flush due delayed
-	// rows, shuffle the contribution order with the shared seeded RNG, and
-	// sum the rows in the shuffled order so float rounding matches the
-	// generic engines' Receive exactly.
+// exchange runs destination-major like the sharded engine, fused per
+// destination: gather the contributing rows of destination j in the
+// delivery-order invariant, apply fault fates (self-loops exempt), flush
+// due delayed rows, shuffle the contribution order with the shared seeded
+// RNG, and sum the rows in the shuffled order so float rounding matches
+// the generic engines' Receive exactly.
+func (v *Vectorized) exchange(t int, snap *topology.Snapshot) error {
+	w, inj := v.width, v.cfg.Faults
 	for j := range v.vecs {
 		refs := v.gather[:0]
 		v.late = v.late[:0]
 		switch {
 		case !v.active[j]:
 		case inj == nil:
-			for e := adj.start[j]; e < adj.start[j+1]; e++ {
-				if src := adj.src[e]; v.active[src] {
+			for e := snap.Start[j]; e < snap.Start[j+1]; e++ {
+				if src := snap.Src[e]; v.active[src] {
 					refs = append(refs, src)
 				}
 			}
 		default:
-			for e := adj.start[j]; e < adj.start[j+1]; e++ {
-				src := adj.src[e]
+			for e := snap.Start[j]; e < snap.Start[j+1]; e++ {
+				src := snap.Src[e]
 				if !v.active[src] {
 					continue
 				}
@@ -299,7 +236,7 @@ func (v *Vectorized) Step() error {
 				if f.Delay > 0 {
 					v.faults.Delayed += int64(copies)
 					for c := 0; c < copies; c++ {
-						v.pend.add(j, t+f.Delay, v.sent[int(src)*w:(int(src)+1)*w])
+						v.vpend.add(j, t+f.Delay, v.rows[int(src)*w:(int(src)+1)*w])
 					}
 					continue
 				}
@@ -308,8 +245,8 @@ func (v *Vectorized) Step() error {
 				}
 			}
 		}
-		if v.pend != nil {
-			refs = v.pend.flush(j, t, refs, &v.late, v.active[j])
+		if v.vpend != nil {
+			refs = v.vpend.flush(j, t, refs, &v.late, v.active[j])
 		}
 		count := len(refs)
 		sum := v.sums[j*w : (j+1)*w]
@@ -324,14 +261,18 @@ func (v *Vectorized) Step() error {
 		v.counts[j] = int32(count)
 		v.gather = refs[:0]
 	}
+	return nil
+}
 
-	// Receive phase.
+// receive applies the vector transition functions over the accumulated
+// sums.
+func (v *Vectorized) receive(t int, snap *topology.Snapshot) error {
+	w := v.width
 	for j, va := range v.vecs {
 		if v.active[j] {
 			va.ReceiveVector(v.sums[j*w:(j+1)*w], int(v.counts[j]))
 		}
 	}
-	v.round = t
 	return nil
 }
 
@@ -370,7 +311,7 @@ func (v *Vectorized) accumulate(sum []float64, refs []int32, w int) {
 // the late scratch.
 func (v *Vectorized) row(r int32, w int) []float64 {
 	if r >= 0 {
-		return v.sent[int(r)*w : (int(r)+1)*w]
+		return v.rows[int(r)*w : (int(r)+1)*w]
 	}
 	k := int(^r)
 	return v.late[k*w : (k+1)*w]
@@ -405,70 +346,6 @@ func randInt31n(r *rand.Rand, n int32) int32 {
 		}
 	}
 	return int32(prod >> 32)
-}
-
-// restart applies the crash-restart channel, re-initializing rebuilt agents
-// through the vector contract so their width commitment stays intact.
-func (v *Vectorized) restart(t int) error {
-	inj := v.cfg.Faults
-	if inj == nil {
-		return nil
-	}
-	for i := range v.agents {
-		if !inj.Restart(t, i) {
-			continue
-		}
-		a := v.cfg.Factory(v.cfg.Inputs[i])
-		if a == nil {
-			return fmt.Errorf("engine: factory returned nil agent restarting agent %d at round %d", i, t)
-		}
-		va, ok := a.(model.VectorAgent)
-		if !ok {
-			return fmt.Errorf("engine: restarted agent %d (%T) does not implement model.VectorAgent", i, a)
-		}
-		if w := va.InitVector(v.universe); w != v.width {
-			return fmt.Errorf("engine: restarted agent %d reports vector width %d, want %d", i, w, v.width)
-		}
-		v.agents[i], v.vecs[i] = a, va
-	}
-	return nil
-}
-
-// roundGraph fetches the round-t graph, revalidates and reflattens it only
-// when it differs from the previous round's, and refreshes the activity
-// mask — the same rebuild-on-change policy as the sharded engine, so static
-// schedules pay validation once and the steady-state loop allocates
-// nothing.
-func (v *Vectorized) roundGraph(t int) error {
-	if !v.allOn || v.cfg.Faults != nil {
-		for i := range v.active {
-			v.active[i] = v.cfg.Starts == nil || t >= v.cfg.Starts[i]
-		}
-		applyStalls(v.cfg.Faults, t, v.active)
-	}
-	g := v.schedule.At(t)
-	if g == nil {
-		return fmt.Errorf("engine: schedule returned nil graph at round %d", t)
-	}
-	if g == v.adjFor {
-		return nil
-	}
-	if g.N() != len(v.agents) {
-		return fmt.Errorf("engine: round %d graph has %d vertices, want %d", t, g.N(), len(v.agents))
-	}
-	if !g.HasSelfLoops() {
-		return fmt.Errorf("engine: round %d graph lacks self-loops (§2.1 requires them)", t)
-	}
-	if v.cfg.Kind == model.Symmetric && !g.IsSymmetric() {
-		return fmt.Errorf("engine: round %d graph is not symmetric but the model is %v", t, v.cfg.Kind)
-	}
-	if v.adj != nil {
-		v.adjPool.Put(v.adj)
-	}
-	adj := v.adjPool.Get().(*csrAdjacency)
-	adj.build(g, v.cfg.Kind)
-	v.adj, v.adjFor = adj, g
-	return nil
 }
 
 // vecPending is the vector analogue of pendingStore: delayed rows per

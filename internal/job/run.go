@@ -3,7 +3,6 @@ package job
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"math"
 
@@ -211,27 +210,15 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 	if c.Injector != nil {
 		cfg.Faults = c.Injector
 	}
-	var (
-		r   engine.Runner
-		err error
-	)
-	switch {
-	case c.Spec.Concurrent:
-		r, err = engine.NewConcurrent(cfg)
-	case c.Spec.Engine == "shard":
-		r, err = engine.NewSharded(cfg, c.Spec.Shards)
-	case c.Spec.Engine == "vec":
-		r, err = engine.NewVectorized(cfg)
-		if errors.Is(err, engine.ErrNotVectorizable) {
-			// Deterministic fallback: the vectorized kernel only accepts
-			// linear mass-passing algorithms (model.VectorAgent); everything
-			// else runs on the sequential engine, whose traces the kernel
-			// reproduces byte for byte anyway.
-			r, err = engine.New(cfg)
-		}
-	default:
-		r, err = engine.New(cfg)
+	// One engine-selection point for the whole repo: engine.NewRunner maps
+	// the spec's engine name to the runner and handles the deterministic
+	// vec→seq fallback (identical traces) itself. The legacy Concurrent
+	// flag folds into "conc".
+	name := c.Spec.Engine
+	if c.Spec.Concurrent {
+		name = "conc"
 	}
+	r, err := engine.NewRunner(cfg, name, c.Spec.Shards)
 	if err != nil {
 		return nil, err
 	}

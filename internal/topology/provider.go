@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anonnet/internal/dynamic"
+	"anonnet/internal/graph"
+	"anonnet/internal/model"
+)
+
+// BuildStats counts the snapshot builds a Provider has performed. For a
+// static schedule Builds stays at 1 however many rounds run; dynamic
+// schedules (and churn-wrapped ones) pay one build per distinct round
+// graph.
+type BuildStats struct {
+	// Builds is the number of CSR builds performed.
+	Builds int64
+	// BuildNanos is the wall-clock time spent inside those builds.
+	BuildNanos int64
+}
+
+// Option configures a Provider.
+type Option func(*Provider)
+
+// RequireStrongConnectivity makes the Provider reject round graphs that
+// are not strongly connected. Off by default: legitimate dynamic schedules
+// (split rings, pairwise interactions) have rounds that are only connected
+// over time, which is exactly the regime Theorem 4.1 speaks to.
+func RequireStrongConnectivity() Option {
+	return func(p *Provider) { p.requireSC = true }
+}
+
+// Provider turns a dynamic.Schedule into a stream of validated Snapshots,
+// one per round. It caches by pointer identity — schedules that return the
+// same *graph.Graph (dynamic.Static, and AsyncStart past the last start)
+// get the cached snapshot back without revalidation — and recycles retired
+// snapshots' arrays through a sync.Pool so steady-state dynamic runs do
+// not allocate.
+type Provider struct {
+	schedule  dynamic.Schedule
+	kind      model.Kind
+	n         int
+	requireSC bool
+
+	cur    *Snapshot
+	curFor *graph.Graph
+
+	pool sync.Pool
+
+	builds     int64
+	buildNanos int64
+}
+
+// NewProvider wraps schedule for the given communication model.
+func NewProvider(schedule dynamic.Schedule, kind model.Kind, opts ...Option) *Provider {
+	p := &Provider{
+		schedule: schedule,
+		kind:     kind,
+		n:        schedule.N(),
+		pool:     sync.Pool{New: func() any { return new(Snapshot) }},
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// N returns the agent count of the underlying schedule.
+func (p *Provider) N() int { return p.n }
+
+// Round returns the validated snapshot of round t's communication graph.
+// The snapshot stays valid until the next Round call with a different
+// graph, at which point its arrays may be recycled.
+func (p *Provider) Round(t int) (*Snapshot, error) {
+	g := p.schedule.At(t)
+	if g == nil {
+		return nil, fmt.Errorf("topology: schedule returned nil graph for round %d", t)
+	}
+	if g == p.curFor {
+		return p.cur, nil
+	}
+	if err := validate(g, p.kind, p.n, t, p.requireSC); err != nil {
+		return nil, err
+	}
+	snap := p.pool.Get().(*Snapshot)
+	start := time.Now()
+	snap.build(g, p.kind)
+	p.buildNanos += time.Since(start).Nanoseconds()
+	p.builds++
+	if p.cur != nil {
+		p.pool.Put(p.cur)
+	}
+	p.cur, p.curFor = snap, g
+	return snap, nil
+}
+
+// Stats reports how many builds this provider has performed and the time
+// spent building.
+func (p *Provider) Stats() BuildStats {
+	return BuildStats{Builds: p.builds, BuildNanos: p.buildNanos}
+}
