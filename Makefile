@@ -1,7 +1,7 @@
 # Tier-1 verification and the race-checked service suite.
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench benchreport run-daemon clean
+.PHONY: all build vet lint test race fuzz crash-recovery bench benchreport run-daemon clean
 
 all: build vet test
 
@@ -30,6 +30,13 @@ race:
 
 fuzz:
 	$(GO) test -fuzz=FuzzSpecCodec -fuzztime=30s ./internal/job
+	$(GO) test -fuzz=FuzzStoreRecord -fuzztime=30s ./internal/store
+
+# The durability gate: checkpoint/resume trace equality on all four
+# engines (± faults) plus the kill/restart service recovery drill.
+crash-recovery:
+	$(GO) test -race -count=1 -run 'Checkpoint' ./internal/engine ./internal/job
+	$(GO) test -race -count=1 ./internal/store ./internal/service
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -13,9 +13,17 @@
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -N localhost:8080/v1/jobs/j000001/stream
 //
-// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops, the
-// queue drains in-flight jobs up to -grace, then remaining jobs are
-// canceled.
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops,
+// then — with -data-dir — running jobs flush their engine state to
+// checkpoints and queued jobs stay in the log, both resuming on the next
+// boot; without a store the queue drains in-flight jobs up to -grace and
+// remaining jobs are canceled.
+//
+// With -data-dir the daemon is durable: every job transition lands in an
+// append-only log, results are served from disk across restarts, and
+// /metrics exposes Prometheus-format counters, store gauges, and job
+// latency histograms. -tenant-rps puts the submit paths behind
+// per-tenant token buckets keyed by the X-Tenant header.
 package main
 
 import (
@@ -30,7 +38,10 @@ import (
 	"syscall"
 	"time"
 
+	"anonnet/internal/metrics"
+	"anonnet/internal/quota"
 	"anonnet/internal/service"
+	"anonnet/internal/store"
 )
 
 func main() {
@@ -50,20 +61,54 @@ func run() error {
 		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight jobs are canceled")
 		every   = flag.Int("every", 1, "publish stream progress every k rounds")
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (off by default)")
+
+		dataDir     = flag.String("data-dir", "", "durable store directory (empty: ephemeral, no persistence)")
+		ckptEvery   = flag.Int("ckpt-every", 50, "checkpoint running jobs every k rounds (with -data-dir)")
+		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant submit rate limit in requests/second (0: disabled)")
+		tenantBurst = flag.Int("tenant-burst", 10, "per-tenant submit burst ceiling (with -tenant-rps)")
 	)
 	flag.Parse()
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	jobLatency := metrics.NewHistogram("anonnetd_job_duration_seconds",
+		"Wall-clock seconds from job start to terminal state.", nil)
+	lim := quota.New(*tenantRPS, *tenantBurst)
+
 	svc := service.New(service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheSize:     *cache,
-		JobTimeout:    *timeout,
-		ProgressEvery: *every,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		JobTimeout:      *timeout,
+		ProgressEvery:   *every,
+		Store:           st,
+		CheckpointEvery: *ckptEvery,
+		JobLatency:      jobLatency,
 	})
+	if st != nil {
+		n, err := svc.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering jobs from %s: %w", *dataDir, err)
+		}
+		if n > 0 {
+			log.Printf("anonnetd: recovered %d interrupted job(s) from %s", n, *dataDir)
+		}
+	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newMux(svc, *pprofOn),
+		Addr: *addr,
+		Handler: newMux(svc, muxOptions{
+			pprof:   *pprofOn,
+			metrics: newMetricsRegistry(svc, st, lim, jobLatency),
+			quota:   lim,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -91,20 +136,32 @@ func run() error {
 		log.Printf("anonnetd: http shutdown: %v", err)
 	}
 
-	// Drain the pool: give the queue the remaining grace budget, then
-	// cancel whatever is still running and wait for the workers to exit.
-	drained := make(chan struct{})
-	go func() {
-		svc.Close()
-		close(drained)
-	}()
-	select {
-	case <-drained:
-		log.Printf("anonnetd: drained cleanly")
-	case <-shutdownCtx.Done():
-		n := svc.CancelAll()
-		log.Printf("anonnetd: grace expired, canceled %d jobs", n)
-		<-drained
+	if st != nil {
+		// Durable shutdown: running jobs flush their engine state to
+		// checkpoints and end interrupted, queued jobs stay queued in the
+		// log; the next boot's Recover resumes all of them.
+		if err := svc.Shutdown(shutdownCtx); err != nil {
+			log.Printf("anonnetd: flush shutdown: %v", err)
+		} else {
+			stats := svc.Stats()
+			log.Printf("anonnetd: flushed state to %s (%d interrupted)", *dataDir, stats.Interrupted)
+		}
+	} else {
+		// Ephemeral drain: give the queue the remaining grace budget, then
+		// cancel whatever is still running and wait for the workers to exit.
+		drained := make(chan struct{})
+		go func() {
+			svc.Close()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+			log.Printf("anonnetd: drained cleanly")
+		case <-shutdownCtx.Done():
+			n := svc.CancelAll()
+			log.Printf("anonnetd: grace expired, canceled %d jobs", n)
+			<-drained
+		}
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"anonnet/internal/metrics"
+	"anonnet/internal/quota"
+	"anonnet/internal/service"
+	"anonnet/internal/store"
+)
+
+// newMetricsRegistry wires the /metrics endpoint: the service counters
+// (the same values the expvar "anonnetd" map mirrors, so the two
+// endpoints can never disagree), the durable-store gauges, the quota
+// tenant gauge, and the job-latency histogram. st, lim, and hist may be
+// nil — their series are simply absent.
+func newMetricsRegistry(svc *service.Service, st *store.Store, lim *quota.Limiter, hist *metrics.Histogram) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	counter := func(name, help string, read func(service.Stats) int64) {
+		reg.Counter(name, help, func() float64 { return float64(read(svc.Stats())) })
+	}
+	gauge := func(name, help string, read func(service.Stats) float64) {
+		reg.Gauge(name, help, func() float64 { return read(svc.Stats()) })
+	}
+	counter("anonnetd_jobs_submitted_total", "Jobs accepted by the service.",
+		func(s service.Stats) int64 { return s.Submitted })
+	counter("anonnetd_jobs_completed_total", "Jobs that finished done.",
+		func(s service.Stats) int64 { return s.Completed })
+	counter("anonnetd_jobs_failed_total", "Jobs that finished failed.",
+		func(s service.Stats) int64 { return s.Failed })
+	counter("anonnetd_jobs_canceled_total", "Jobs canceled by clients or deadlines.",
+		func(s service.Stats) int64 { return s.Canceled })
+	counter("anonnetd_cache_hits_total", "Submissions served from the result cache or disk tier.",
+		func(s service.Stats) int64 { return s.CacheHits })
+	counter("anonnetd_rounds_simulated_total", "Engine rounds executed across all jobs.",
+		func(s service.Stats) int64 { return s.RoundsSimulated })
+	counter("anonnetd_retries_total", "Transient-error re-executions.",
+		func(s service.Stats) int64 { return s.Retries })
+	counter("anonnetd_panics_recovered_total", "Runner panics converted to failed jobs.",
+		func(s service.Stats) int64 { return s.PanicsRecovered })
+	counter("anonnetd_jobs_recovered_total", "Jobs re-enqueued from the durable store at boot.",
+		func(s service.Stats) int64 { return s.Recovered })
+	counter("anonnetd_jobs_interrupted_total", "Running jobs flushed to checkpoints at shutdown.",
+		func(s service.Stats) int64 { return s.Interrupted })
+	counter("anonnetd_store_errors_total", "Durable-store append failures.",
+		func(s service.Stats) int64 { return s.StoreErrors })
+	gauge("anonnetd_jobs_running", "Jobs executing right now.",
+		func(s service.Stats) float64 { return float64(s.Running) })
+	gauge("anonnetd_jobs_queued", "Jobs waiting in the bounded queue.",
+		func(s service.Stats) float64 { return float64(s.Queued) })
+	gauge("anonnetd_workers", "Configured worker-pool size.",
+		func(s service.Stats) float64 { return float64(s.Workers) })
+	gauge("anonnetd_cache_entries", "Result-cache entries resident in memory.",
+		func(s service.Stats) float64 { return float64(s.CacheEntries) })
+
+	if st != nil {
+		sgauge := func(name, help string, read func(store.Stats) float64) {
+			reg.Gauge(name, help, func() float64 { return read(st.Stats()) })
+		}
+		sgauge("anonnetd_store_segments", "Log segments on disk.",
+			func(s store.Stats) float64 { return float64(s.Segments) })
+		sgauge("anonnetd_store_records", "Log records (replayed + appended).",
+			func(s store.Stats) float64 { return float64(s.Records) })
+		sgauge("anonnetd_store_log_bytes", "Total log bytes on disk.",
+			func(s store.Stats) float64 { return float64(s.LogBytes) })
+		sgauge("anonnetd_store_jobs", "Distinct jobs in the log.",
+			func(s store.Stats) float64 { return float64(s.Jobs) })
+		sgauge("anonnetd_store_pending_jobs", "Persisted jobs not yet terminal.",
+			func(s store.Stats) float64 { return float64(s.Pending) })
+		sgauge("anonnetd_store_checkpoints", "Engine checkpoint blobs on disk.",
+			func(s store.Stats) float64 { return float64(s.Checkpoints) })
+	}
+	if lim != nil {
+		reg.Gauge("anonnetd_quota_tenants", "Tenants with live token buckets.",
+			func() float64 { return float64(lim.Tenants()) })
+	}
+	if hist != nil {
+		reg.Histogram(hist)
+	}
+	return reg
+}

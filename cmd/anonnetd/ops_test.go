@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anonnet/internal/metrics"
+	"anonnet/internal/quota"
+	"anonnet/internal/service"
+	"anonnet/internal/store"
+)
+
+const opsSpec = `{"graph":{"builder":"ring","n":4},"kind":"od","function":"average"}`
+
+// TestMetricsEndpoint pins the /metrics surface: Prometheus text format
+// with the service counters, store gauges, quota gauge, and latency
+// histogram all present, and the counters moving after a job runs.
+func TestMetricsEndpoint(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	hist := metrics.NewHistogram("anonnetd_job_duration_seconds", "Job latency.", nil)
+	lim := quota.New(1000, 1000)
+	svc := service.New(service.Config{Workers: 1, Store: st, JobLatency: hist})
+	defer svc.Close()
+	ts := httptest.NewServer(newMux(svc, muxOptions{
+		metrics: newMetricsRegistry(svc, st, lim, hist),
+		quota:   lim,
+	}))
+	defer ts.Close()
+
+	j, code := postJob(t, ts, opsSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit → %d", code)
+	}
+	waitDone(t, ts, j.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics → %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q, want Prometheus text format 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE anonnetd_jobs_submitted_total counter",
+		"anonnetd_jobs_submitted_total 1",
+		"anonnetd_jobs_completed_total 1",
+		"# TYPE anonnetd_store_records gauge",
+		"anonnetd_quota_tenants",
+		"# TYPE anonnetd_job_duration_seconds histogram",
+		`anonnetd_job_duration_seconds_bucket{le="+Inf"} 1`,
+		"anonnetd_job_duration_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, "anonnetd_rounds_simulated_total 0\n") {
+		t.Error("rounds counter never moved")
+	}
+}
+
+// TestTenantQuota pins the submit-path throttle: a tenant that exhausts
+// its burst gets 503 + Retry-After with code quota_exceeded, other
+// tenants are unaffected, and submissions without X-Tenant share the
+// default bucket.
+func TestTenantQuota(t *testing.T) {
+	lim := quota.New(0.5, 2)
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(newMux(svc, muxOptions{quota: lim}))
+	defer ts.Close()
+
+	// Distinct seeds keep every request a fresh job instead of a cache hit.
+	seed := 0
+	post := func(tenant string) *http.Response {
+		t.Helper()
+		seed++
+		spec := `{"graph":{"builder":"ring","n":4},"kind":"od","function":"average","seed":` + strconv.Itoa(seed) + `}`
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Burst of 2 is honored, the third request is throttled.
+	for i := 0; i < 2; i++ {
+		resp := post("acme")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("request %d → %d, want 202", i+1, resp.StatusCode)
+		}
+	}
+	resp := post("acme")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-quota request → %d, want 503", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+	var prob struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prob); err != nil || prob.Code != "quota_exceeded" {
+		t.Errorf("problem code = %q (%v), want quota_exceeded", prob.Code, err)
+	}
+
+	// Another tenant and the default bucket are isolated from acme.
+	for _, tenant := range []string{"globex", ""} {
+		r := post(tenant)
+		r.Body.Close()
+		if r.StatusCode != http.StatusAccepted {
+			t.Errorf("tenant %q → %d, want 202", tenant, r.StatusCode)
+		}
+	}
+}

@@ -41,7 +41,7 @@ func TestPprofDisabledByDefault(t *testing.T) {
 // the profiles and the named profiles serve.
 func TestPprofEnabled(t *testing.T) {
 	svc := service.New(service.Config{Workers: 1, QueueDepth: 4})
-	ts := httptest.NewServer(newMux(svc, true))
+	ts := httptest.NewServer(newMux(svc, muxOptions{pprof: true}))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()

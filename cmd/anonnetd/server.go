@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"anonnet/internal/job"
+	"anonnet/internal/metrics"
+	"anonnet/internal/quota"
 	"anonnet/internal/service"
 )
 
@@ -22,7 +24,19 @@ const maxSpecBytes = 1 << 20
 // server wraps a service.Service in the HTTP/JSON API.
 type server struct {
 	svc   *service.Service
+	quota *quota.Limiter // nil: quotas disabled
 	start time.Time
+}
+
+// muxOptions selects the optional API surfaces.
+type muxOptions struct {
+	// pprof mounts /debug/pprof/ (the -pprof flag).
+	pprof bool
+	// metrics, when non-nil, is served at /metrics in the Prometheus text
+	// format.
+	metrics *metrics.Registry
+	// quota, when non-nil, rate-limits the submit paths per X-Tenant.
+	quota *quota.Limiter
 }
 
 // newMux routes the API (version 1, under /v1/):
@@ -37,19 +51,22 @@ type server struct {
 //	GET    /v1/stats            service counters
 //	GET    /v1/readyz           readiness (503 + Retry-After when shedding)
 //	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text format — only with opt.metrics
 //	GET    /debug/vars          expvar (includes the anonnetd map)
-//	GET    /debug/pprof/…       runtime profiles — only with enablePprof
+//	GET    /debug/pprof/…       runtime profiles — only with opt.pprof
 //
 // The historical unversioned paths (/jobs…, /stats) answer 301 to their
 // /v1/ form. Errors share one problem-details shape:
 // {"code": ..., "message": ..., "detail": ...}.
 //
-// enablePprof mounts the net/http/pprof endpoints (CPU, heap, goroutine,
+// opt.pprof mounts the net/http/pprof endpoints (CPU, heap, goroutine,
 // …) under /debug/pprof/. It is off by default — profiles expose internals
 // and cost CPU while sampling — and opted into with the -pprof flag when
-// diagnosing a live daemon; without it the paths 404.
-func newMux(svc *service.Service, enablePprof bool) *http.ServeMux {
-	s := &server{svc: svc, start: time.Now()}
+// diagnosing a live daemon; without it the paths 404. opt.quota puts the
+// submit paths behind per-tenant token buckets (the X-Tenant header; see
+// handleSubmit).
+func newMux(svc *service.Service, opt muxOptions) *http.ServeMux {
+	s := &server{svc: svc, quota: opt.quota, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -62,7 +79,10 @@ func newMux(svc *service.Service, enablePprof bool) *http.ServeMux {
 	mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	if enablePprof {
+	if opt.metrics != nil {
+		mux.Handle("GET /metrics", opt.metrics.Handler())
+	}
+	if opt.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -176,8 +196,28 @@ func (s *server) shed(w http.ResponseWriter) bool {
 	return true
 }
 
+// throttle enforces the per-tenant quota on an intake request, sharing
+// shed's 503 + Retry-After shape so clients handle overload and
+// over-quota with one code path. The tenant is the X-Tenant header;
+// requests without one share the default bucket. Returns true when the
+// request was rejected.
+func (s *server) throttle(w http.ResponseWriter, r *http.Request) bool {
+	ok, retryAfter := s.quota.Allow(r.Header.Get("X-Tenant"))
+	if ok {
+		return false
+	}
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeProblem(w, http.StatusServiceUnavailable, "quota_exceeded",
+		"tenant submit quota exhausted; retry later", "")
+	return true
+}
+
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.throttle(w, r) || s.shed(w) {
 		return
 	}
 	body, ok := readBody(w, r)
@@ -257,7 +297,7 @@ func (g *batchGrid) axisSeeds(fallback int64) []int64 {
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.throttle(w, r) || s.shed(w) {
 		return
 	}
 	body, ok := readBody(w, r)

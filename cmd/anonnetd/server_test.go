@@ -18,7 +18,7 @@ import (
 func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(cfg)
-	ts := httptest.NewServer(newMux(svc, false))
+	ts := httptest.NewServer(newMux(svc, muxOptions{}))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.CancelAll()

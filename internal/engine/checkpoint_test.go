@@ -1,0 +1,312 @@
+package engine_test
+
+// Checkpoint/resume equality: a run snapshotted at round K and resumed on
+// a fresh runner must continue with the byte-identical trace of the
+// uninterrupted run — per engine, with and without fault plans (delayed
+// in-flight messages included). This is the durability contract behind
+// internal/store: the golden test of the checkpoint subsystem.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"anonnet/internal/engine"
+	"anonnet/internal/faults"
+	"anonnet/internal/model"
+)
+
+// ckptCase names one checkpointable workload × fault plan.
+type ckptCase struct {
+	name string
+	algo string // key into algoCases (must be checkpointable)
+	plan *faults.Plan
+}
+
+func ckptCases() []ckptCase {
+	return []ckptCase{
+		{name: "pushsum", algo: "pushsum"},
+		{name: "pushsum/faults", algo: "pushsum",
+			plan: &faults.Plan{Drop: 0.15, Dup: 0.1, DelayP: 0.25, DelayMax: 4, Stall: 0.1, Crash: 0.05}},
+		{name: "metropolis", algo: "metropolis"},
+		{name: "metropolis/faults+churn", algo: "metropolis",
+			plan: &faults.Plan{Drop: 0.1, DelayP: 0.2, DelayMax: 3, Churn: &faults.ChurnPlan{Drop: 0.3, Window: 2, Guard: faults.GuardRepair}}},
+	}
+}
+
+// ckptConfig builds the engine.Config of a case, compiling the fault plan
+// exactly as the facade does.
+func ckptConfig(t *testing.T, cc ckptCase) engine.Config {
+	t.Helper()
+	const n, seed = 7, 23
+	var tc algoCase
+	found := false
+	for _, c := range algoCases() {
+		if c.name == cc.algo {
+			tc, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("unknown algo case %q", cc.algo)
+	}
+	cfg := engine.Config{
+		Schedule: tc.schedule(n, 11),
+		Kind:     tc.kind,
+		Inputs:   caseInputs(n),
+		Factory:  tc.factory(t),
+		Seed:     seed,
+	}
+	if cc.plan != nil {
+		inj, err := faults.NewInjector(seed, *cc.plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = inj
+		sched, err := faults.WrapSchedule(cfg.Schedule, seed, cc.plan.Churn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Schedule = sched
+	}
+	return cfg
+}
+
+// ckptRunners enumerates the four engines for a config builder.
+func ckptRunners() []struct {
+	name string
+	mk   func(cfg engine.Config) (engine.Runner, error)
+} {
+	return []struct {
+		name string
+		mk   func(cfg engine.Config) (engine.Runner, error)
+	}{
+		{"seq", func(cfg engine.Config) (engine.Runner, error) { return engine.New(cfg) }},
+		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
+		{"shard3", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 3) }},
+		{"vec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewVectorized(cfg) }},
+	}
+}
+
+func traceLine(r engine.Runner) string {
+	return fmt.Sprintf("%d:%v\n", r.Round(), r.Outputs())
+}
+
+func hashLines(lines []string) string {
+	h := sha256.New()
+	for _, l := range lines {
+		fmt.Fprint(h, l)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestCheckpointResumeTraceEquality is the subsystem's golden property:
+// for every engine × workload × fault plan, splicing the pre-checkpoint
+// trace of run A with the post-resume trace of run B reproduces run A's
+// full trace hash byte for byte. The checkpoint round-trips through
+// Encode/Decode, exercising the gob codec in-flight delayed messages and
+// all.
+func TestCheckpointResumeTraceEquality(t *testing.T) {
+	const rounds, k = 12, 5
+	for _, cc := range ckptCases() {
+		for _, rn := range ckptRunners() {
+			t.Run(cc.name+"/"+rn.name, func(t *testing.T) {
+				// Uninterrupted run, snapshotting at round k.
+				a, err := rn.mk(ckptConfig(t, cc))
+				if errors.Is(err, engine.ErrNotVectorizable) {
+					t.Skip("not vectorizable")
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer a.Close()
+				if !engine.CanCheckpoint(a) {
+					t.Fatalf("%s run of %s reports not checkpointable", rn.name, cc.algo)
+				}
+				var lines []string
+				var blob []byte
+				for round := 1; round <= rounds; round++ {
+					if err := a.Step(); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					lines = append(lines, traceLine(a))
+					if round == k {
+						cp, err := a.(engine.Checkpointer).Snapshot()
+						if err != nil {
+							t.Fatalf("snapshot at round %d: %v", round, err)
+						}
+						if blob, err = cp.Encode(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				full := hashLines(lines)
+
+				// Fresh runner, restored from the encoded checkpoint.
+				cp, err := engine.DecodeCheckpoint(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := rn.mk(ckptConfig(t, cc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer b.Close()
+				if err := b.(engine.Checkpointer).Restore(cp); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if b.Round() != k {
+					t.Fatalf("restored runner at round %d, want %d", b.Round(), k)
+				}
+				spliced := append([]string(nil), lines[:k]...)
+				for round := k + 1; round <= rounds; round++ {
+					if err := b.Step(); err != nil {
+						t.Fatalf("resumed round %d: %v", round, err)
+					}
+					spliced = append(spliced, traceLine(b))
+				}
+				if got := hashLines(spliced); got != full {
+					t.Errorf("spliced trace hash %s, want uninterrupted %s", got, full)
+				}
+				if !reflect.DeepEqual(a.Outputs(), b.Outputs()) {
+					t.Errorf("final outputs diverge:\n a: %v\n b: %v", a.Outputs(), b.Outputs())
+				}
+				as, bs := a.Stats(), b.Stats()
+				if as != bs {
+					t.Errorf("final stats diverge: a %+v, b %+v", as, bs)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointedHarnessResume drives the checkpointed harness end to
+// end: an uninterrupted checkpointed run and a resumed run must agree on
+// the full StableResult — Rounds, StabilizedAt, and outputs.
+func TestCheckpointedHarnessResume(t *testing.T) {
+	const patience, maxRounds, every = 3, 60, 4
+	for _, cc := range ckptCases() {
+		t.Run(cc.name, func(t *testing.T) {
+			var saved []*engine.Checkpoint
+			a, err := engine.New(ckptConfig(t, cc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			want, err := engine.RunUntilStableCheckpointedCtx(context.Background(), a, model.Discrete, patience, maxRounds, nil, engine.CheckpointPolicy{
+				Every: every,
+				Save: func(cp *engine.Checkpoint) error {
+					saved = append(saved, cp)
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(saved) == 0 {
+				t.Fatal("no checkpoints saved")
+			}
+			resume := saved[len(saved)-1]
+			b, err := engine.New(ckptConfig(t, cc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			got, err := engine.RunUntilStableCheckpointedCtx(context.Background(), b, model.Discrete, patience, maxRounds, nil, engine.CheckpointPolicy{Resume: resume})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Stable != want.Stable || got.Rounds != want.Rounds || got.StabilizedAt != want.StabilizedAt {
+				t.Errorf("resumed result (stable=%v rounds=%d at=%d), want (stable=%v rounds=%d at=%d)",
+					got.Stable, got.Rounds, got.StabilizedAt, want.Stable, want.Rounds, want.StabilizedAt)
+			}
+			if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+				t.Errorf("resumed outputs diverge:\n got %v\nwant %v", got.Outputs, want.Outputs)
+			}
+		})
+	}
+}
+
+// TestCheckpointFlush asserts the graceful-shutdown path: a flush request
+// checkpoints at the next round boundary, the run stops with
+// ErrInterrupted, and resuming from the flushed checkpoint completes with
+// the uninterrupted run's result.
+func TestCheckpointFlush(t *testing.T) {
+	const patience, maxRounds = 3, 60
+	cc := ckptCases()[1] // pushsum with faults
+	base, err := engine.New(ckptConfig(t, cc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	want, err := engine.RunUntilStableCtx(context.Background(), base, model.Discrete, patience, maxRounds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flush := make(chan struct{}, 1)
+	flush <- struct{}{} // pre-armed: flush at the first round boundary
+	var flushed *engine.Checkpoint
+	a, err := engine.New(ckptConfig(t, cc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	_, err = engine.RunUntilStableCheckpointedCtx(context.Background(), a, model.Discrete, patience, maxRounds, nil, engine.CheckpointPolicy{
+		Flush: flush,
+		Save:  func(cp *engine.Checkpoint) error { flushed = cp; return nil },
+	})
+	if !errors.Is(err, engine.ErrInterrupted) {
+		t.Fatalf("flushed run error = %v, want ErrInterrupted", err)
+	}
+	if flushed == nil {
+		t.Fatal("flush did not save a checkpoint")
+	}
+	if flushed.Round != 1 {
+		t.Fatalf("flush checkpoint at round %d, want 1", flushed.Round)
+	}
+
+	b, err := engine.New(ckptConfig(t, cc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, err := engine.RunUntilStableCheckpointedCtx(context.Background(), b, model.Discrete, patience, maxRounds, nil, engine.CheckpointPolicy{Resume: flushed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || got.Stable != want.Stable || !reflect.DeepEqual(got.Outputs, want.Outputs) {
+		t.Errorf("resumed-after-flush result diverges: got rounds=%d stable=%v, want rounds=%d stable=%v",
+			got.Rounds, got.Stable, want.Rounds, want.Stable)
+	}
+}
+
+// TestCanCheckpoint pins the capability matrix: the mass-passing algorithms
+// checkpoint, the structural ones (gossip's sets, minbase's tables) do not
+// yet.
+func TestCanCheckpoint(t *testing.T) {
+	for _, tc := range algoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := engine.Config{
+				Schedule: tc.schedule(7, 11),
+				Kind:     tc.kind,
+				Inputs:   caseInputs(7),
+				Factory:  tc.factory(t),
+				Seed:     23,
+			}
+			r, err := engine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			want := tc.name == "pushsum" || tc.name == "metropolis"
+			if got := engine.CanCheckpoint(r); got != want {
+				t.Errorf("CanCheckpoint(%s) = %v, want %v", tc.name, got, want)
+			}
+		})
+	}
+}

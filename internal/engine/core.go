@@ -102,6 +102,7 @@ type core struct {
 	agents []model.Agent
 	round  int
 	rng    *rand.Rand
+	src    *countingSource // rng's source, counted for checkpoint/resume
 	closed bool
 
 	messages int64
@@ -148,12 +149,14 @@ func newCore(cfg Config, name string) (*core, error) {
 		return nil, err
 	}
 	n := len(agents)
+	src := newCountingSource(cfg.Seed)
 	c := &core{
 		cfg:     cfg,
 		name:    name,
 		topo:    topology.NewProvider(schedule, cfg.Kind),
 		agents:  agents,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
+		src:     src,
 		active:  make([]bool, n),
 		allOn:   cfg.Starts == nil,
 		sent:    make([][]model.Message, n),

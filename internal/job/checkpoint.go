@@ -1,0 +1,103 @@
+package job
+
+import (
+	"context"
+	"fmt"
+
+	"anonnet/internal/engine"
+	"anonnet/internal/model"
+)
+
+// CheckpointConfig tells RunCheckpointed how to persist and resume engine
+// state. The zero value (no Every, no Resume, no Flush) degrades to a
+// plain Run.
+type CheckpointConfig struct {
+	// Every snapshots the engine every k rounds (0 disables periodic
+	// checkpoints).
+	Every int
+	// Resume is an encoded engine checkpoint to restore before round one;
+	// nil starts fresh. Resuming a job whose algorithm cannot checkpoint
+	// is an error — the blob could only have come from somewhere else.
+	Resume []byte
+	// Save receives each encoded checkpoint (periodic and flush-triggered).
+	Save func(round int, blob []byte) error
+	// Flush asks the run to checkpoint at the next round boundary and stop
+	// with engine.ErrInterrupted — the graceful-shutdown path.
+	Flush <-chan struct{}
+}
+
+// RunCheckpointed executes a compiled job like Run, checkpointing the
+// engine every cfg.Every rounds through cfg.Save and resuming from
+// cfg.Resume when set. Jobs whose algorithm does not implement
+// model.Checkpointable run exactly as under Run: no snapshots, and a
+// Flush signal is ignored (the job simply runs to completion during the
+// drain). An interrupted run surfaces an error wrapping
+// engine.ErrInterrupted after its final checkpoint reached cfg.Save.
+func RunCheckpointed(ctx context.Context, c *Compiled, obs engine.Observer, ck CheckpointConfig) (*Result, error) {
+	cfg := engine.Config{
+		Schedule: c.Schedule,
+		Kind:     c.Setting.Kind,
+		Inputs:   c.Inputs,
+		Factory:  c.Factory,
+		Seed:     c.Spec.Seed,
+		Starts:   c.Spec.Starts,
+	}
+	if c.Injector != nil {
+		cfg.Faults = c.Injector
+	}
+	name := c.Spec.Engine
+	if c.Spec.Concurrent {
+		name = "conc"
+	}
+	r, err := engine.NewRunner(cfg, name, c.Spec.Shards)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	var res *engine.StableResult
+	if engine.CanCheckpoint(r) {
+		pol := engine.CheckpointPolicy{Every: ck.Every, Flush: ck.Flush}
+		if ck.Save != nil {
+			pol.Save = func(cp *engine.Checkpoint) error {
+				blob, err := cp.Encode()
+				if err != nil {
+					return err
+				}
+				return ck.Save(cp.Round, blob)
+			}
+		}
+		if ck.Resume != nil {
+			cp, err := engine.DecodeCheckpoint(ck.Resume)
+			if err != nil {
+				return nil, fmt.Errorf("job: resume checkpoint: %w", err)
+			}
+			pol.Resume = cp
+		}
+		res, err = engine.RunUntilStableCheckpointedCtx(ctx, r, model.Discrete, c.Spec.Patience, c.Spec.MaxRounds, obs, pol)
+	} else {
+		if ck.Resume != nil {
+			return nil, fmt.Errorf("job: %w: spec %s has a resume checkpoint but its algorithm cannot restore one",
+				engine.ErrNotCheckpointable, c.Hash)
+		}
+		res, err = engine.RunUntilStableCtx(ctx, r, model.Discrete, c.Spec.Patience, c.Spec.MaxRounds, obs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	outputs, maxErr := Numeric(res.Outputs, c.Expected)
+	out := &Result{
+		Outputs:      outputs,
+		Stable:       res.Stable,
+		StabilizedAt: res.StabilizedAt,
+		Rounds:       res.Rounds,
+		Expected:     F64(c.Expected),
+		MaxErr:       F64(maxErr),
+		Messages:     r.Stats().MessagesDelivered,
+	}
+	if c.Injector != nil {
+		fs := r.Stats().Faults
+		out.Faults = &FaultCounts{Dropped: fs.Dropped, Duplicated: fs.Duplicated, Delayed: fs.Delayed}
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package job
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"anonnet/internal/engine"
+	"anonnet/internal/faults"
+	"anonnet/internal/model"
+)
+
+// ckptSpec is the acceptance workload: a dynamic outdegree-aware Push-Sum
+// job (splitring network) with optional fault plan and engine selection.
+func ckptSpec(eng string, withFaults bool) Spec {
+	s := Spec{
+		SchemaVersion: 4,
+		Graph:         GraphSpec{Builder: "splitring", N: 8},
+		Kind:          "od",
+		Function:      "average",
+		Values:        []float64{3, 1, 4, 1, 5, 9, 2, 6},
+		Seed:          7,
+		MaxRounds:     400,
+		Engine:        eng,
+	}
+	if eng == "shard" {
+		s.Shards = 3
+	}
+	if withFaults {
+		s.Faults = &faults.Plan{Drop: 0.1, Dup: 0.05, DelayP: 0.2, DelayMax: 3, Stall: 0.05}
+	}
+	return s
+}
+
+// traceRecorder accumulates the round-by-round trace lines an observer
+// sees, in the golden-test format.
+type traceRecorder struct{ lines []string }
+
+func (tr *traceRecorder) obs(round int, outs []model.Value) {
+	tr.lines = append(tr.lines, fmt.Sprintf("%d:%v\n", round, outs))
+}
+
+func hashTrace(lines []string) string {
+	h := sha256.New()
+	for _, l := range lines {
+		fmt.Fprint(h, l)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestRunCheckpointedResumeMatchesUninterrupted is the PR's acceptance
+// criterion at the job level: a Push-Sum job checkpointed at round K,
+// killed (flush), and resumed produces the byte-identical trace hash and
+// the identical Result of the same spec run uninterrupted — on all four
+// engines, with and without a fault plan.
+func TestRunCheckpointedResumeMatchesUninterrupted(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		for _, eng := range []string{"seq", "conc", "shard", "vec"} {
+			name := eng
+			if withFaults {
+				name += "+faults"
+			}
+			t.Run(name, func(t *testing.T) {
+				spec := ckptSpec(eng, withFaults)
+				compile := func() *Compiled {
+					c, err := Compile(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return c
+				}
+
+				// The uninterrupted reference run.
+				ref := &traceRecorder{}
+				want, err := Run(context.Background(), compile(), ref.obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantHash := hashTrace(ref.lines)
+
+				// The killed run: flush fires once k rounds have elapsed,
+				// checkpointing and stopping with ErrInterrupted.
+				const k = 5
+				flush := make(chan struct{}, 1)
+				var blob []byte
+				var blobRound int
+				pre := &traceRecorder{}
+				_, err = RunCheckpointed(context.Background(), compile(), func(round int, outs []model.Value) {
+					pre.obs(round, outs)
+					if round == k {
+						flush <- struct{}{}
+					}
+				}, CheckpointConfig{
+					Flush: flush,
+					Save: func(round int, b []byte) error {
+						blobRound, blob = round, b
+						return nil
+					},
+				})
+				if !errors.Is(err, engine.ErrInterrupted) {
+					t.Fatalf("killed run error = %v, want ErrInterrupted", err)
+				}
+				if blob == nil || blobRound != k {
+					t.Fatalf("flush checkpoint at round %d (blob %d bytes), want round %d", blobRound, len(blob), k)
+				}
+
+				// The resumed run completes the job from the blob.
+				post := &traceRecorder{}
+				got, err := RunCheckpointed(context.Background(), compile(), post.obs, CheckpointConfig{Resume: blob})
+				if err != nil {
+					t.Fatal(err)
+				}
+				spliced := append(append([]string(nil), pre.lines[:k]...), post.lines...)
+				if gotHash := hashTrace(spliced); gotHash != wantHash {
+					t.Errorf("spliced trace hash %s, want uninterrupted %s", gotHash, wantHash)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("resumed result %+v diverges from uninterrupted %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestRunCheckpointedPlainWhenNotCheckpointable pins the degraded mode: a
+// non-checkpointable algorithm (gossip over simple broadcast) runs to
+// completion, ignoring Every/Save/Flush, and matches plain Run.
+func TestRunCheckpointedPlainWhenNotCheckpointable(t *testing.T) {
+	spec := Spec{
+		Graph:     GraphSpec{Builder: "ring", N: 6},
+		Kind:      "bc",
+		Function:  "max",
+		Values:    []float64{3, 1, 4, 1, 5, 9},
+		Seed:      5,
+		MaxRounds: 200,
+	}
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(context.Background(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush := make(chan struct{}, 1)
+	flush <- struct{}{}
+	saves := 0
+	c2, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCheckpointed(context.Background(), c2, nil, CheckpointConfig{
+		Every: 1,
+		Flush: flush,
+		Save:  func(int, []byte) error { saves++; return nil },
+	})
+	if err != nil {
+		t.Fatalf("degraded run error: %v", err)
+	}
+	if saves != 0 {
+		t.Errorf("non-checkpointable run saved %d checkpoints", saves)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("degraded result %+v diverges from Run %+v", got, want)
+	}
+
+	// Resuming a non-checkpointable job is an explicit error.
+	c3, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCheckpointed(context.Background(), c3, nil, CheckpointConfig{Resume: []byte("blob")}); !errors.Is(err, engine.ErrNotCheckpointable) {
+		t.Errorf("resume of non-checkpointable job = %v, want ErrNotCheckpointable", err)
+	}
+}

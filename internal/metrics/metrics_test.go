@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRenderScalars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("anonnetd_jobs_submitted_total", "Jobs accepted.", func() float64 { return 42 })
+	r.Gauge("anonnetd_jobs_running", "Jobs executing now.", func() float64 { return 3 })
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP anonnetd_jobs_running Jobs executing now.\n# TYPE anonnetd_jobs_running gauge\nanonnetd_jobs_running 3\n",
+		"# HELP anonnetd_jobs_submitted_total Jobs accepted.\n# TYPE anonnetd_jobs_submitted_total counter\nanonnetd_jobs_submitted_total 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted by name: the gauge (jobs_running) precedes the counter
+	// (jobs_submitted_total).
+	if strings.Index(out, "anonnetd_jobs_running") > strings.Index(out, "anonnetd_jobs_submitted_total") {
+		t.Errorf("series not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("job_seconds", "Job latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	out := renderOne(h)
+	for _, want := range []string{
+		`job_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary 0.1 (le is inclusive)
+		`job_seconds_bucket{le="1"} 3`,
+		`job_seconds_bucket{le="10"} 4`,
+		`job_seconds_bucket{le="+Inf"} 5`,
+		`job_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 102.65 {
+		t.Errorf("Sum = %g, want 102.65", got)
+	}
+}
+
+func renderOne(h *Histogram) string {
+	r := NewRegistry()
+	r.Histogram(h)
+	return r.Render()
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("x", "x", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if got, want := h.Sum(), 8.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("Sum = %g, want ~%g", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", func() float64 { return 1 })
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup", "a", func() float64 { return 0 })
+	r.Gauge("dup", "b", func() float64 { return 0 })
+}

@@ -1,0 +1,31 @@
+package model
+
+// Checkpointable is the optional contract behind engine checkpointing: an
+// agent that can serialize its dynamic state — everything Receive and the
+// sending functions have mutated since construction — and later restore it
+// into a freshly built instance of the same automaton.
+//
+// The contract is exact, not approximate: restoring a marshaled state into
+// a factory-fresh agent (same factory, same Input) must yield an agent
+// whose future behaviour is bit-identical to the original's, float
+// rounding included — the engine's resume-equality tests hash traces and
+// fail on a single differing bit. Implementations therefore must encode
+// float64 state losslessly (encoding/gob and math.Float64bits both
+// qualify; decimal formatting does not).
+//
+// Only dynamic state belongs in the blob. Configuration fixed by the
+// factory (variant, bounds, the function), the private input, and
+// engine-provided artifacts (the vector universe) are reconstructed by the
+// restore path before UnmarshalState runs and must not be clobbered.
+//
+// Algorithms that use delayable messages under fault plans must also
+// gob.Register their concrete Message types, so the engine can serialize
+// in-flight delayed messages alongside the agent states.
+type Checkpointable interface {
+	Agent
+	// MarshalState serializes the agent's dynamic state.
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores dynamic state serialized by MarshalState on
+	// an agent built by the same factory from the same input.
+	UnmarshalState(data []byte) error
+}

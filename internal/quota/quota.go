@@ -1,0 +1,114 @@
+// Package quota implements per-tenant token-bucket rate limiting for
+// anonnetd's submit paths. Each tenant (the X-Tenant request header, or
+// the shared default when absent) owns a bucket refilling at a fixed rate
+// up to a burst ceiling; an exhausted bucket yields a Retry-After hint so
+// the HTTP layer can shed with 503 exactly like its overload path. The
+// tenant map is bounded: when it outgrows the cap, buckets that have
+// fully refilled (idle tenants, by definition) are evicted.
+package quota
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultTenant keys requests that carry no tenant header: anonymous
+// callers share one bucket rather than each minting a fresh one.
+const DefaultTenant = "default"
+
+// maxTenants bounds the tenant map; beyond it, fully-refilled buckets
+// are evicted (they are indistinguishable from brand-new ones).
+const maxTenants = 4096
+
+// Limiter is a per-tenant token-bucket set. The zero value is unusable;
+// use New. A nil *Limiter allows everything, so callers can leave
+// quotas un-configured without branching.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New builds a limiter granting each tenant rate tokens per second with
+// the given burst ceiling. New returns nil — the always-allow limiter —
+// when rate <= 0, so "-tenant-rps 0" cleanly disables quotas.
+func New(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from tenant's bucket. When the bucket is empty
+// it reports false plus the wait until one token refills — the HTTP
+// layer's Retry-After. A nil limiter always allows.
+func (l *Limiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, exists := l.buckets[tenant]
+	if !exists {
+		if len(l.buckets) >= maxTenants {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After is whole seconds; round up
+	}
+	return false, wait
+}
+
+// evictLocked drops tenants whose buckets have fully refilled: they have
+// been idle at least burst/rate seconds and lose nothing by re-entering
+// as fresh tenants. Callers hold l.mu.
+func (l *Limiter) evictLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// Tenants reports the tracked tenant count (a /metrics gauge). A nil
+// limiter tracks none.
+func (l *Limiter) Tenants() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,117 @@
+package quota
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock pins the limiter's clock for deterministic refill tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClocked(rate float64, burst int) (*Limiter, *fakeClock) {
+	l := New(rate, burst)
+	c := &fakeClock{t: time.Unix(1700000000, 0)}
+	l.now = c.now
+	return l, c
+}
+
+func TestBurstThenShed(t *testing.T) {
+	l, _ := newClocked(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := l.Allow("acme")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry < time.Second {
+		t.Fatalf("Retry-After %v, want >= 1s", retry)
+	}
+}
+
+func TestRefill(t *testing.T) {
+	l, c := newClocked(2, 2) // 2 rps
+	l.Allow("acme")
+	l.Allow("acme")
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("empty bucket allowed")
+	}
+	c.advance(500 * time.Millisecond) // refills exactly one token
+	if ok, _ := l.Allow("acme"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("second token should not have refilled yet")
+	}
+}
+
+func TestTenantsIsolated(t *testing.T) {
+	l, _ := newClocked(1, 1)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("tenant a denied its burst")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("tenant b throttled by tenant a")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("tenant a over quota but allowed")
+	}
+	if l.Tenants() != 2 {
+		t.Fatalf("Tenants = %d, want 2", l.Tenants())
+	}
+}
+
+func TestEmptyTenantSharesDefault(t *testing.T) {
+	l, _ := newClocked(1, 1)
+	if ok, _ := l.Allow(""); !ok {
+		t.Fatal("anonymous burst denied")
+	}
+	if ok, _ := l.Allow(DefaultTenant); ok {
+		t.Fatal("anonymous callers must share the default bucket")
+	}
+}
+
+func TestNilLimiterAllowsAll(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		if ok, retry := l.Allow("anyone"); !ok || retry != 0 {
+			t.Fatal("nil limiter must always allow")
+		}
+	}
+	if l.Tenants() != 0 {
+		t.Fatal("nil limiter tracks tenants")
+	}
+	if New(0, 5) != nil {
+		t.Fatal("New(rate<=0) must return the nil limiter")
+	}
+}
+
+func TestEvictionBoundsTenantMap(t *testing.T) {
+	l, c := newClocked(1000, 1)
+	for i := 0; i < maxTenants; i++ {
+		l.Allow(string(rune('a'+i%26)) + time.Duration(i).String())
+	}
+	if l.Tenants() != maxTenants {
+		t.Fatalf("Tenants = %d, want %d", l.Tenants(), maxTenants)
+	}
+	// All buckets refill within 1ms at 1000 rps; the next new tenant
+	// triggers a sweep of the idle ones.
+	c.advance(time.Second)
+	l.Allow("newcomer")
+	if got := l.Tenants(); got != 1 {
+		t.Fatalf("Tenants after eviction = %d, want 1", got)
+	}
+}
+
+func TestRetryAfterScalesWithRate(t *testing.T) {
+	l, _ := newClocked(0.1, 1) // one token per 10s
+	l.Allow("slow")
+	_, retry := l.Allow("slow")
+	if retry < 9*time.Second || retry > 11*time.Second {
+		t.Fatalf("Retry-After %v, want ~10s", retry)
+	}
+}

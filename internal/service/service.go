@@ -8,6 +8,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
@@ -19,7 +20,9 @@ import (
 
 	"anonnet/internal/engine"
 	"anonnet/internal/job"
+	"anonnet/internal/metrics"
 	"anonnet/internal/model"
+	"anonnet/internal/store"
 )
 
 // Service errors.
@@ -74,6 +77,23 @@ type Config struct {
 	// RetryBase is the backoff before the first retry, doubling on each
 	// subsequent one (default 50ms).
 	RetryBase time.Duration
+	// Store, when non-nil, makes the service durable: every job state
+	// transition is appended to the log, done results are served from disk
+	// on LRU misses, running jobs checkpoint their engine state, and
+	// Recover re-enqueues non-terminal jobs after a restart.
+	Store *store.Store
+	// CheckpointEvery snapshots a running job's engine every k rounds
+	// (default 50 when Store is set; meaningless without one). Shutdown
+	// flushes a final checkpoint regardless.
+	CheckpointEvery int
+	// JobLatency, when non-nil, observes each finished job's wall-clock
+	// seconds (the /metrics latency histogram).
+	JobLatency *metrics.Histogram
+
+	// runnerInjected records whether Runner came from the caller: the
+	// checkpointed execution path only replaces the built-in job.Run,
+	// never an injected runner.
+	runnerInjected bool
 }
 
 func (c Config) withDefaults() Config {
@@ -92,8 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.ProgressEvery <= 0 {
 		c.ProgressEvery = 1
 	}
+	c.runnerInjected = c.Runner != nil
 	if c.Runner == nil {
 		c.Runner = job.Run
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 50
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
@@ -112,13 +136,16 @@ type State string
 
 // The job lifecycle: queued → running → done | failed | canceled, with
 // queued → canceled possible before a worker picks the job up, and
-// cache-served jobs born done.
+// cache-served jobs born done. A durable service adds running →
+// interrupted at graceful shutdown: the engine state is flushed to a
+// checkpoint and the job resumes (as queued) on the next boot.
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateInterrupted State = "interrupted"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
 )
 
 // Terminal reports whether a job in this state will never change again.
@@ -169,6 +196,9 @@ type entry struct {
 	finished  time.Time
 	cancel    context.CancelFunc // non-nil exactly while running
 	canceled  bool               // cancellation requested while queued
+	flush     chan struct{}      // non-nil while running durably: shutdown's flush request
+	ckptRound int                // last checkpointed round (durable path)
+	recovered bool               // re-enqueued from the store at boot
 	subs      map[chan Progress]struct{}
 }
 
@@ -183,10 +213,17 @@ type Stats struct {
 	RoundsSimulated int64 `json:"rounds_simulated"`
 	PanicsRecovered int64 `json:"panics_recovered"`
 	Retries         int64 `json:"retries"`
-	Queued          int   `json:"queued"`
-	Running         int   `json:"running"`
-	CacheEntries    int   `json:"cache_entries"`
-	Workers         int   `json:"workers"`
+	// Recovered counts jobs re-enqueued from the durable store at boot;
+	// Interrupted counts running jobs flushed to checkpoints at shutdown.
+	Recovered   int64 `json:"recovered"`
+	Interrupted int64 `json:"interrupted"`
+	// StoreErrors counts durable-store append failures (the service keeps
+	// serving from memory when the disk misbehaves).
+	StoreErrors  int64 `json:"store_errors"`
+	Queued       int   `json:"queued"`
+	Running      int   `json:"running"`
+	CacheEntries int   `json:"cache_entries"`
+	Workers      int   `json:"workers"`
 }
 
 // Service is the concurrent simulation service.
@@ -199,6 +236,7 @@ type Service struct {
 	batches   map[string][]string
 	cache     *lru
 	closed    bool
+	shutdown  bool // graceful shutdown: queued jobs stay queued for the next boot
 	nextID    int64
 	nextBatch int64
 
@@ -214,6 +252,9 @@ type Service struct {
 	running      atomic.Int64
 	panics       atomic.Int64
 	retries      atomic.Int64
+	recovered    atomic.Int64
+	interrupted  atomic.Int64
+	storeErrs    atomic.Int64
 	workersAlive atomic.Int64
 }
 
@@ -222,7 +263,7 @@ type Service struct {
 var (
 	expOnce                                                                            sync.Once
 	expSubmitted, expCompleted, expFailed, expCanceled, expHits, expRounds, expRunning *expvar.Int
-	expPanics, expRetries                                                              *expvar.Int
+	expPanics, expRetries, expRecovered, expInterrupted                                *expvar.Int
 )
 
 func publishExpvars() {
@@ -242,6 +283,8 @@ func publishExpvars() {
 		expRunning = reg("jobs_running")
 		expPanics = reg("panics_recovered")
 		expRetries = reg("retries")
+		expRecovered = reg("jobs_recovered")
+		expInterrupted = reg("jobs_interrupted")
 	})
 }
 
@@ -255,6 +298,11 @@ func New(cfg Config) *Service {
 		batches: make(map[string][]string),
 		cache:   newLRU(cfg.CacheSize),
 		queue:   make(chan *entry, cfg.QueueDepth),
+	}
+	if cfg.Store != nil {
+		// Continue the persisted ID sequence so recovered and new jobs
+		// never collide.
+		s.nextID = cfg.Store.MaxJobSeq()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -297,7 +345,7 @@ func (s *Service) submitLocked(compiled *job.Compiled) (*entry, error) {
 		submitted: time.Now(),
 		subs:      make(map[chan Progress]struct{}),
 	}
-	if res, ok := s.cache.get(e.hash); ok {
+	if res, ok := s.resultForHash(e.hash); ok {
 		e.state = StateDone
 		e.result = res
 		e.cacheHit = true
@@ -320,7 +368,113 @@ func (s *Service) submitLocked(compiled *job.Compiled) (*entry, error) {
 	s.order = append(s.order, e.id)
 	s.submitted.Add(1)
 	expSubmitted.Add(1)
+	if s.cfg.Store != nil {
+		spec, err := json.Marshal(compiled.Spec)
+		if err != nil {
+			spec = nil // canonical specs always marshal; belt and braces
+		}
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateQueued, Spec: spec})
+	}
 	return e, nil
+}
+
+// resultForHash consults the two result tiers: the in-memory LRU, then
+// the durable store. A disk hit is promoted into the LRU. Callers hold
+// s.mu.
+func (s *Service) resultForHash(hash string) (*job.Result, bool) {
+	if res, ok := s.cache.get(hash); ok {
+		return res, true
+	}
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	raw, ok := s.cfg.Store.ResultByHash(hash)
+	if !ok {
+		return nil, false
+	}
+	var res job.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, false
+	}
+	s.cache.add(hash, &res)
+	return &res, true
+}
+
+// persist appends one record to the durable store. Append failures (disk
+// full, store closed during shutdown races) are counted, not fatal: the
+// service keeps serving from memory.
+func (s *Service) persist(rec store.Record) {
+	if s.cfg.Store == nil {
+		return
+	}
+	rec.Unix = time.Now().UnixNano()
+	if err := s.cfg.Store.Append(rec); err != nil {
+		s.storeErrs.Add(1)
+	}
+}
+
+// durable reports whether jobs run through the checkpointed executor:
+// a store is configured and the runner is the built-in job.Run (an
+// injected runner owns its own execution and cannot checkpoint).
+func (s *Service) durable() bool {
+	return s.cfg.Store != nil && !s.cfg.runnerInjected
+}
+
+// Recover re-enqueues every non-terminal job found in the durable store —
+// the boot step after a crash or graceful shutdown. Jobs keep their
+// original IDs; those with an on-disk checkpoint resume mid-run from it.
+// Specs that no longer compile are marked failed in the log rather than
+// wedging recovery. Returns the number of jobs re-enqueued.
+func (s *Service) Recover() (int, error) {
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	pending := s.cfg.Store.Pending()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	n := 0
+	for _, v := range pending {
+		if _, exists := s.jobs[v.ID]; exists {
+			continue
+		}
+		var spec job.Spec
+		err := json.Unmarshal(v.Spec, &spec)
+		var compiled *job.Compiled
+		if err == nil {
+			compiled, err = job.Compile(spec)
+		}
+		if err != nil {
+			s.persist(store.Record{JobID: v.ID, Hash: v.Hash, State: store.StateFailed,
+				Error: fmt.Sprintf("recovery: %v", err)})
+			continue
+		}
+		e := &entry{
+			id:        v.ID,
+			hash:      compiled.Hash,
+			compiled:  compiled,
+			state:     StateQueued,
+			submitted: time.Now(),
+			recovered: true,
+			subs:      make(map[chan Progress]struct{}),
+		}
+		select {
+		case s.queue <- e:
+		default:
+			return n, fmt.Errorf("%w: %d jobs recovered, %s and later still pending", ErrQueueFull, n, v.ID)
+		}
+		s.jobs[e.id] = e
+		s.order = append(s.order, e.id)
+		s.submitted.Add(1)
+		expSubmitted.Add(1)
+		s.recovered.Add(1)
+		expRecovered.Add(1)
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateQueued})
+		n++
+	}
+	return n, nil
 }
 
 // Batch is a client-facing snapshot of one batch submission: the member
@@ -467,6 +621,7 @@ func (s *Service) cancelLocked(e *entry) {
 		e.finished = time.Now()
 		s.canceled.Add(1)
 		expCanceled.Add(1)
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateCanceled})
 		s.finishLocked(e)
 	case StateRunning:
 		if e.cancel != nil {
@@ -535,6 +690,9 @@ func (s *Service) Stats() Stats {
 		RoundsSimulated: s.rounds.Load(),
 		PanicsRecovered: s.panics.Load(),
 		Retries:         s.retries.Load(),
+		Recovered:       s.recovered.Load(),
+		Interrupted:     s.interrupted.Load(),
+		StoreErrors:     s.storeErrs.Load(),
 		Queued:          queued,
 		Running:         int(s.running.Load()),
 		CacheEntries:    cacheLen,
@@ -598,6 +756,46 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
+// Shutdown gracefully stops a durable service: intake closes, every
+// running job is asked to flush its engine state to a checkpoint (ending
+// interrupted, to resume on the next boot's Recover), and queued jobs
+// stay queued in the log instead of running. Shutdown blocks until the
+// pool is idle; if ctx expires first it falls back to hard cancellation
+// and returns the context's error. Without a store, Shutdown degrades to
+// Close's drain.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		// Only a durable service may strand queued jobs: without a log
+		// they would simply vanish, so drain them instead.
+		s.shutdown = s.cfg.Store != nil
+		close(s.queue)
+	}
+	for _, e := range s.jobs {
+		if e.state == StateRunning && e.flush != nil {
+			select {
+			case e.flush <- struct{}{}:
+			default:
+			}
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.CancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
 // worker is one pool goroutine: it pops jobs until the queue closes.
 func (s *Service) worker() {
 	defer s.wg.Done()
@@ -616,6 +814,13 @@ func (s *Service) runOne(e *entry) {
 		s.mu.Unlock()
 		return
 	}
+	if s.shutdown {
+		// Graceful shutdown is draining the channel, not the work: the
+		// job stays queued — in memory and in the log — for the next
+		// boot's Recover.
+		s.mu.Unlock()
+		return
+	}
 	ctx := context.Background()
 	var cancel context.CancelFunc
 	if s.cfg.JobTimeout > 0 {
@@ -626,6 +831,10 @@ func (s *Service) runOne(e *entry) {
 	e.cancel = cancel
 	e.state = StateRunning
 	e.started = time.Now()
+	if s.durable() {
+		e.flush = make(chan struct{}, 1)
+	}
+	s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateRunning})
 	s.mu.Unlock()
 	defer cancel()
 
@@ -665,15 +874,41 @@ func (s *Service) runOne(e *entry) {
 		s.cache.add(e.hash, res)
 		s.completed.Add(1)
 		expCompleted.Add(1)
+		if s.cfg.Store != nil {
+			raw, merr := json.Marshal(res)
+			if merr != nil {
+				raw = nil
+			}
+			s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateDone, Result: raw})
+			s.cfg.Store.DropCheckpoints(e.hash)
+		}
+	case errors.Is(err, engine.ErrInterrupted):
+		// Graceful shutdown flushed the engine to a checkpoint: the job is
+		// not terminal — it resumes (via Recover) on the next boot.
+		e.state = StateInterrupted
+		s.interrupted.Add(1)
+		expInterrupted.Add(1)
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateInterrupted, Round: e.ckptRound})
 	case errors.Is(err, context.Canceled):
 		e.state = StateCanceled
 		s.canceled.Add(1)
 		expCanceled.Add(1)
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateCanceled})
+		if s.cfg.Store != nil {
+			s.cfg.Store.DropCheckpoints(e.hash)
+		}
 	default:
 		e.state = StateFailed
 		e.err = err.Error()
 		s.failed.Add(1)
 		expFailed.Add(1)
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateFailed, Error: e.err})
+		if s.cfg.Store != nil {
+			s.cfg.Store.DropCheckpoints(e.hash)
+		}
+	}
+	if s.cfg.JobLatency != nil {
+		s.cfg.JobLatency.Observe(e.finished.Sub(e.started).Seconds())
 	}
 	s.finishLocked(e)
 }
@@ -714,7 +949,35 @@ func (s *Service) safeRun(ctx context.Context, e *entry, obs engine.Observer) (r
 			err = fmt.Errorf("service: job %s panicked: %v\n%s", e.id, r, debug.Stack())
 		}
 	}()
+	if s.durable() {
+		return job.RunCheckpointed(ctx, e.compiled, obs, s.checkpointConfig(e))
+	}
 	return s.cfg.Runner(ctx, e.compiled, obs)
+}
+
+// checkpointConfig wires one running job to the durable store: periodic
+// snapshots land as checkpoint blobs keyed by the job's spec hash, the
+// entry's flush channel carries shutdown's flush request, and any
+// on-disk checkpoint of the same hash — a previous run of this exact
+// computation — seeds the resume.
+func (s *Service) checkpointConfig(e *entry) job.CheckpointConfig {
+	ck := job.CheckpointConfig{
+		Every: s.cfg.CheckpointEvery,
+		Flush: e.flush,
+		Save: func(round int, blob []byte) error {
+			if err := s.cfg.Store.SaveCheckpoint(e.hash, round, blob); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			e.ckptRound = round
+			s.mu.Unlock()
+			return nil
+		},
+	}
+	if blob, _, err := s.cfg.Store.LatestCheckpoint(e.hash); err == nil {
+		ck.Resume = blob
+	}
+	return ck
 }
 
 // publish fans an event out to e's subscribers, dropping events a slow

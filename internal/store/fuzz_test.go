@@ -1,0 +1,71 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreRecord hammers the replay path from both ends: a fuzzed record
+// must survive an append → reopen round trip intact, and the fuzzed raw
+// tail appended after it must never panic the replayer — it either parses
+// or is truncated as a torn tail.
+func FuzzStoreRecord(f *testing.F) {
+	f.Add("j000001", "deadbeef", StateQueued, `{"n":7}`, "", []byte{})
+	f.Add("j000042", "cafe", StateDone, `{"kind":"avg"}`, "", []byte{0, 0, 0, 4, 1, 2, 3, 4})
+	f.Add("j000002", "ffff", StateFailed, ``, "agent panicked", []byte("garbage tail"))
+	f.Add("", "", "", ``, "", []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, id, hash, state, spec, errMsg string, tail []byte) {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := Record{JobID: id, Hash: hash, State: state, Error: errMsg}
+		if json.Valid([]byte(spec)) {
+			rec.Spec = json.RawMessage(spec)
+		}
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Crash damage: arbitrary bytes after the last good frame.
+		seg := filepath.Join(dir, "log", "seg-000001.log")
+		fh, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.Write(tail); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+
+		r, err := Open(dir, Options{})
+		if err != nil {
+			// The fuzzed tail can only ever be torn (truncated), never
+			// fatal: it sits in the final segment.
+			t.Fatalf("reopen with fuzzed tail: %v", err)
+		}
+		defer r.Close()
+		if id == "" {
+			return // blank IDs are ignored by design
+		}
+		// The fuzzed tail may happen to be valid frames that overlay the
+		// record; only its pre-tail field survival is guaranteed when the
+		// tail failed to parse.
+		if r.Stats().Records >= 1 {
+			v, ok := r.Job(id)
+			if !ok {
+				t.Fatalf("record for %q lost on replay", id)
+			}
+			if r.Stats().Records == 1 {
+				if v.Hash != hash || v.State != state || v.Error != errMsg {
+					t.Fatalf("replayed view %+v diverges from record %+v", v, rec)
+				}
+			}
+		}
+	})
+}

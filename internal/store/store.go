@@ -1,0 +1,688 @@
+// Package store is anonnetd's durable job store: an append-only,
+// spec-hash-addressed log of job records plus a directory of engine
+// checkpoint blobs. The log survives crashes — records are
+// length-prefixed JSON frames with a per-record CRC32, segments rotate at
+// a size ceiling, and replay truncates a torn tail (a crash mid-append)
+// while rejecting corruption anywhere else. Checkpoints are written
+// atomically (tmp + rename) under deterministic names derived from the
+// canonical spec hash and the round, so a restarted daemon can find the
+// latest checkpoint of any interrupted job without an index.
+//
+// Layout under the data dir:
+//
+//	log/seg-000001.log   append-only record segments
+//	ckpt/<hash16>-r00000042.ckpt   engine checkpoint blobs
+//
+// The store knows nothing about the service's entry bookkeeping or the
+// engines' checkpoint encoding; it persists opaque JSON and opaque blobs.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store errors.
+var (
+	// ErrDirtyDir is returned by Open for a data dir holding files the
+	// store did not write — a safety interlock against pointing -data-dir
+	// at a directory that belongs to something else.
+	ErrDirtyDir = errors.New("store: data dir contains foreign files")
+	// ErrCorrupt is returned by Open when a non-final segment fails
+	// framing or checksum validation. A torn tail in the final segment is
+	// expected crash damage and is truncated instead.
+	ErrCorrupt = errors.New("store: corrupt segment")
+	// ErrClosed is returned by mutating calls after Close.
+	ErrClosed = errors.New("store: closed")
+	// ErrNoCheckpoint is returned by LatestCheckpoint when no blob exists
+	// for the spec hash.
+	ErrNoCheckpoint = errors.New("store: no checkpoint")
+)
+
+// Record is one append-only log entry: a job state transition. The first
+// record of a job carries its spec; the done record carries its result.
+// Later records for the same job ID overlay the earlier ones during
+// replay, so the log compacts naturally into a map of latest states.
+type Record struct {
+	JobID string `json:"job_id"`
+	// Hash is the canonical spec hash (the result address).
+	Hash  string `json:"hash"`
+	State string `json:"state"`
+	// Spec is the validated spec JSON, present on the first record.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Result is the result JSON, present on the done record.
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// Round is the last checkpointed round, present on interrupted
+	// records so recovery can report where the job will resume.
+	Round int `json:"round,omitempty"`
+	// Unix is the transition time in Unix nanoseconds (informational).
+	Unix int64 `json:"unix,omitempty"`
+}
+
+// Job state names persisted in records. StateInterrupted is store-specific:
+// a running job whose engine state was flushed to a checkpoint at
+// shutdown, to be re-enqueued on the next boot.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateInterrupted = "interrupted"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCanceled    = "canceled"
+)
+
+// Terminal reports whether a persisted state is final. Non-terminal jobs
+// found during replay are recovery candidates.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// JobView is the replayed, merged view of one job: the latest state plus
+// the spec and (when done) result captured along the way.
+type JobView struct {
+	ID     string
+	Hash   string
+	State  string
+	Spec   json.RawMessage
+	Result json.RawMessage
+	Error  string
+	Round  int
+}
+
+// Options tunes a Store. The zero value selects defaults.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment once it reaches this
+	// size (default 1 MiB). Records never span segments.
+	MaxSegmentBytes int64
+	// Sync fsyncs after every append. Durability against power loss at
+	// the cost of append latency; the framing already survives process
+	// crashes without it.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// Stats is a snapshot of store counters for the /metrics endpoint.
+type Stats struct {
+	Segments      int   `json:"segments"`
+	Records       int64 `json:"records"`
+	LogBytes      int64 `json:"log_bytes"`
+	Jobs          int   `json:"jobs"`
+	Pending       int   `json:"pending"`
+	Checkpoints   int64 `json:"checkpoints"`
+	Appends       int64 `json:"appends"`
+	TailTruncated bool  `json:"tail_truncated"`
+}
+
+// Store is the durable job store. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	active  *os.File
+	segIdx  int
+	segSize int64
+	segs    int
+	closed  bool
+
+	jobs  map[string]*JobView
+	order []string
+
+	records   int64
+	logBytes  int64
+	appends   int64
+	ckptSaves int64
+	truncated bool
+}
+
+const (
+	logDir  = "log"
+	ckptDir = "ckpt"
+	// frameHeader is the per-record overhead: 4-byte big-endian payload
+	// length followed by 4-byte CRC32 (IEEE) of the payload.
+	frameHeader = 8
+	// maxRecordBytes bounds a single record frame; larger lengths in a
+	// segment header are treated as corruption, not allocation requests.
+	maxRecordBytes = 16 << 20
+)
+
+var (
+	segRe  = regexp.MustCompile(`^seg-(\d{6})\.log$`)
+	ckptRe = regexp.MustCompile(`^[0-9a-f]{1,16}-r\d{8}\.ckpt$`)
+)
+
+// Open opens (or initializes) the store in dir. A fresh dir is laid out;
+// an existing one is replayed — every segment is CRC-verified, a torn
+// final record is truncated, and all job records are merged into the
+// in-memory view. A dir holding anything the store does not recognize is
+// rejected with ErrDirtyDir rather than guessed at.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := checkLayout(dir); err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{logDir, ckptDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{
+		dir:  dir,
+		opt:  opt,
+		jobs: make(map[string]*JobView),
+	}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	if err := s.openActive(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkLayout rejects data dirs with foreign content: only the store's
+// own subdirectories and files may be present.
+func checkLayout(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && (e.Name() == logDir || e.Name() == ckptDir) {
+			continue
+		}
+		return fmt.Errorf("%w: unexpected %q in %s (pick an empty or store-owned directory)",
+			ErrDirtyDir, e.Name(), dir)
+	}
+	if err := checkNames(filepath.Join(dir, logDir), func(name string) bool {
+		return segRe.MatchString(name)
+	}); err != nil {
+		return err
+	}
+	return checkNames(filepath.Join(dir, ckptDir), func(name string) bool {
+		// Leftover .tmp files from a crash mid-save are cleaned by
+		// replay, not rejected.
+		return ckptRe.MatchString(name) || strings.HasSuffix(name, ".tmp")
+	})
+}
+
+func checkNames(dir string, ok func(string) bool) error {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !ok(e.Name()) {
+			return fmt.Errorf("%w: unexpected %q in %s", ErrDirtyDir, e.Name(), dir)
+		}
+	}
+	return nil
+}
+
+// segments lists segment file names in index order.
+func (s *Store) segments() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, logDir))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if segRe.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// replay loads every segment, verifying frames and merging records. A
+// torn tail — a partial frame at the end of the final segment — is
+// truncated in place; the same damage anywhere else is ErrCorrupt.
+func (s *Store) replay() error {
+	names, err := s.segments()
+	if err != nil {
+		return err
+	}
+	s.segs = len(names)
+	for i, name := range names {
+		path := filepath.Join(s.dir, logDir, name)
+		last := i == len(names)-1
+		good, err := s.replaySegment(path, last)
+		if err != nil {
+			return err
+		}
+		if last {
+			idx, _ := strconv.Atoi(segRe.FindStringSubmatch(name)[1])
+			s.segIdx = idx
+			s.segSize = good
+		}
+		s.logBytes += good
+	}
+	// Sweep checkpoint temp files left by a crash mid-save, and count the
+	// surviving blobs.
+	entries, err := os.ReadDir(filepath.Join(s.dir, ckptDir))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(s.dir, ckptDir, e.Name()))
+			continue
+		}
+		s.ckptSaves++
+	}
+	return nil
+}
+
+// replaySegment reads one segment, returning the byte offset of the last
+// good frame. In the final segment a bad tail is truncated; elsewhere it
+// is corruption.
+func (s *Store) replaySegment(path string, last bool) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	off := int64(0)
+	for int64(len(data))-off >= frameHeader {
+		n := int64(binary.BigEndian.Uint32(data[off:]))
+		sum := binary.BigEndian.Uint32(data[off+4:])
+		if n > maxRecordBytes || off+frameHeader+n > int64(len(data)) {
+			break // torn or insane length
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn mid-payload or bit rot
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // framing intact but payload is not a record
+		}
+		s.apply(rec)
+		s.records++
+		off += frameHeader + n
+	}
+	if off == int64(len(data)) {
+		return off, nil
+	}
+	if !last {
+		return 0, fmt.Errorf("%w: %s has a bad frame at offset %d (not the final segment — refusing to repair)",
+			ErrCorrupt, filepath.Base(path), off)
+	}
+	if err := os.Truncate(path, off); err != nil {
+		return 0, fmt.Errorf("store: truncating torn tail of %s: %w", filepath.Base(path), err)
+	}
+	s.truncated = true
+	return off, nil
+}
+
+// apply merges one record into the replayed view.
+func (s *Store) apply(rec Record) {
+	if rec.JobID == "" {
+		return
+	}
+	v, ok := s.jobs[rec.JobID]
+	if !ok {
+		v = &JobView{ID: rec.JobID}
+		s.jobs[rec.JobID] = v
+		s.order = append(s.order, rec.JobID)
+	}
+	if rec.Hash != "" {
+		v.Hash = rec.Hash
+	}
+	if rec.State != "" {
+		v.State = rec.State
+	}
+	if len(rec.Spec) > 0 {
+		v.Spec = rec.Spec
+	}
+	if len(rec.Result) > 0 {
+		v.Result = rec.Result
+	}
+	v.Error = rec.Error
+	if rec.Round > 0 {
+		v.Round = rec.Round
+	}
+}
+
+// openActive opens the current segment for appending, creating the first
+// one in a fresh store.
+func (s *Store) openActive() error {
+	if s.segIdx == 0 {
+		s.segIdx = 1
+		s.segs = 1
+		s.segSize = 0
+	}
+	path := filepath.Join(s.dir, logDir, segName(s.segIdx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Seek to the replayed good length, not the physical end: replay
+	// truncated torn tails already, but be explicit about the invariant.
+	if _, err := f.Seek(s.segSize, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = f
+	return nil
+}
+
+func segName(idx int) string { return fmt.Sprintf("seg-%06d.log", idx) }
+
+// Append durably adds one record to the log and merges it into the
+// in-memory view. The active segment rotates once it exceeds the size
+// ceiling; a record is never split across segments.
+func (s *Store) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.segSize > 0 && s.segSize+int64(len(frame)) > s.opt.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.active.Write(frame); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opt.Sync {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.segSize += int64(len(frame))
+	s.logBytes += int64(len(frame))
+	s.records++
+	s.appends++
+	s.apply(rec)
+	return nil
+}
+
+// rotateLocked closes the active segment and starts the next one.
+// Callers hold s.mu.
+func (s *Store) rotateLocked() error {
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segIdx++
+	s.segs++
+	s.segSize = 0
+	path := filepath.Join(s.dir, logDir, segName(s.segIdx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = f
+	return nil
+}
+
+// Job returns the merged view of one job, or false.
+func (s *Store) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return *v, true
+}
+
+// Jobs returns merged views of every job in first-seen order.
+func (s *Store) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Pending returns the jobs whose latest persisted state is non-terminal —
+// the recovery set a restarted daemon re-enqueues.
+func (s *Store) Pending() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobView
+	for _, id := range s.order {
+		if v := s.jobs[id]; !Terminal(v.State) {
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+// ResultByHash returns the persisted result JSON of any done job with the
+// given spec hash — the disk tier behind the service's LRU.
+func (s *Store) ResultByHash(hash string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		v := s.jobs[id]
+		if v.Hash == hash && v.State == StateDone && len(v.Result) > 0 {
+			return v.Result, true
+		}
+	}
+	return nil, false
+}
+
+// MaxJobSeq returns the largest numeric suffix over persisted job IDs of
+// the form j<digits>, so a recovering service can continue the ID
+// sequence without collisions.
+func (s *Store) MaxJobSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for id := range s.jobs {
+		if len(id) < 2 || id[0] != 'j' {
+			continue
+		}
+		if n, err := strconv.ParseInt(id[1:], 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// hashPrefix is the checkpoint-name fragment of a spec hash. Spec hashes
+// are hex SHA-256; sixteen characters keep names short while making a
+// collision within one data dir vanishingly unlikely.
+func hashPrefix(hash string) string {
+	h := strings.ToLower(hash)
+	if len(h) > 16 {
+		h = h[:16]
+	}
+	if h == "" {
+		h = "0"
+	}
+	return h
+}
+
+// CheckpointName is the deterministic blob name for a spec hash at a
+// round — pure function of its inputs, so independent daemons agree on
+// it.
+func CheckpointName(hash string, round int) string {
+	return fmt.Sprintf("%s-r%08d.ckpt", hashPrefix(hash), round)
+}
+
+// SaveCheckpoint atomically writes an engine checkpoint blob for the spec
+// hash at round: temp file, then rename. Earlier checkpoints of the same
+// hash are pruned after the new one is durable, keeping exactly one blob
+// per job on disk.
+func (s *Store) SaveCheckpoint(hash string, round int, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	dir := filepath.Join(s.dir, ckptDir)
+	name := CheckpointName(hash, round)
+	tmp, err := os.CreateTemp(dir, name+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opt.Sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.ckptSaves++
+	s.pruneCheckpointsLocked(hash, round)
+	return nil
+}
+
+// pruneCheckpointsLocked removes blobs of hash at rounds other than keep
+// (keep < 0 removes all). Callers hold s.mu.
+func (s *Store) pruneCheckpointsLocked(hash string, keep int) {
+	prefix := hashPrefix(hash) + "-r"
+	entries, err := os.ReadDir(filepath.Join(s.dir, ckptDir))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !ckptRe.MatchString(name) {
+			continue
+		}
+		round, err := strconv.Atoi(strings.TrimSuffix(name[len(prefix):], ".ckpt"))
+		if err != nil || round == keep {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, ckptDir, name)) == nil {
+			s.ckptSaves--
+		}
+	}
+}
+
+// LatestCheckpoint returns the highest-round checkpoint blob saved for
+// the spec hash, or ErrNoCheckpoint.
+func (s *Store) LatestCheckpoint(hash string) (blob []byte, round int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefix := hashPrefix(hash) + "-r"
+	entries, err := os.ReadDir(filepath.Join(s.dir, ckptDir))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	best := -1
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !ckptRe.MatchString(name) {
+			continue
+		}
+		r, err := strconv.Atoi(strings.TrimSuffix(name[len(prefix):], ".ckpt"))
+		if err == nil && r > best {
+			best = r
+		}
+	}
+	if best < 0 {
+		return nil, 0, fmt.Errorf("%w for hash %s", ErrNoCheckpoint, hashPrefix(hash))
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, ckptDir, CheckpointName(hash, best)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	return data, best, nil
+}
+
+// DropCheckpoints removes every checkpoint blob of the spec hash — called
+// once a job reaches a terminal state and resume is moot.
+func (s *Store) DropCheckpoints(hash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneCheckpointsLocked(hash, -1)
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pending := 0
+	for _, v := range s.jobs {
+		if !Terminal(v.State) {
+			pending++
+		}
+	}
+	return Stats{
+		Segments:      s.segs,
+		Records:       s.records,
+		LogBytes:      s.logBytes,
+		Jobs:          len(s.jobs),
+		Pending:       pending,
+		Checkpoints:   s.ckptSaves,
+		Appends:       s.appends,
+		TailTruncated: s.truncated,
+	}
+}
+
+// Dir returns the data directory the store was opened on.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes and closes the active segment. Further Appends fail with
+// ErrClosed; queries keep working on the in-memory view.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.active.Sync(); err != nil {
+		s.active.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

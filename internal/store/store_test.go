@@ -1,0 +1,283 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	spec := json.RawMessage(`{"kind":"avg","n":7}`)
+	result := json.RawMessage(`{"outputs":[2.8],"stable":true}`)
+	recs := []Record{
+		{JobID: "j000001", Hash: "aa11", State: StateQueued, Spec: spec},
+		{JobID: "j000002", Hash: "bb22", State: StateQueued, Spec: spec},
+		{JobID: "j000001", Hash: "aa11", State: StateRunning},
+		{JobID: "j000001", Hash: "aa11", State: StateDone, Result: result},
+		{JobID: "j000002", Hash: "bb22", State: StateRunning},
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	if got := r.Stats().Records; got != int64(len(recs)) {
+		t.Fatalf("replayed %d records, want %d", got, len(recs))
+	}
+	j1, ok := r.Job("j000001")
+	if !ok || j1.State != StateDone || string(j1.Result) != string(result) || string(j1.Spec) != string(spec) {
+		t.Fatalf("j000001 replay wrong: %+v (ok=%v)", j1, ok)
+	}
+	if j1.Error != "" {
+		t.Fatalf("j000001 error should be empty, got %q", j1.Error)
+	}
+	pend := r.Pending()
+	if len(pend) != 1 || pend[0].ID != "j000002" || pend[0].State != StateRunning {
+		t.Fatalf("pending = %+v, want running j000002", pend)
+	}
+	if res, ok := r.ResultByHash("aa11"); !ok || string(res) != string(result) {
+		t.Fatalf("ResultByHash(aa11) = %s, %v", res, ok)
+	}
+	if _, ok := r.ResultByHash("bb22"); ok {
+		t.Fatal("ResultByHash(bb22) should miss: job not done")
+	}
+	if got := r.MaxJobSeq(); got != 2 {
+		t.Fatalf("MaxJobSeq = %d, want 2", got)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != "j000001" || jobs[1].ID != "j000002" {
+		t.Fatalf("job order = %+v", jobs)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i, id := range []string{"j000001", "j000002"} {
+		_ = i
+		if err := s.Append(Record{JobID: id, Hash: "h", State: StateQueued}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial frame at the tail.
+	seg := filepath.Join(dir, "log", "seg-000001.log")
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 99, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := mustOpen(t, dir, Options{})
+	st := r.Stats()
+	if st.Records != 2 || !st.TailTruncated {
+		t.Fatalf("stats after torn tail: %+v", st)
+	}
+	// The store must keep appending cleanly after the repair.
+	if err := r.Append(Record{JobID: "j000003", Hash: "h", State: StateQueued}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustOpen(t, dir, Options{})
+	if st := r2.Stats(); st.Records != 3 || st.TailTruncated {
+		t.Fatalf("stats after repaired reopen: %+v", st)
+	}
+}
+
+func TestCorruptMiddleSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxSegmentBytes: 64})
+	for _, id := range []string{"j000001", "j000002", "j000003", "j000004"} {
+		if err := s.Append(Record{JobID: id, Hash: "somehash", State: StateQueued}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "log", "seg-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	// Flip a payload byte in the first (non-final) segment.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt middle segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDirtyDirRejected(t *testing.T) {
+	cases := []struct {
+		name  string
+		plant func(dir string) error
+	}{
+		{"root", func(dir string) error {
+			return os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+		}},
+		{"log", func(dir string) error {
+			if err := os.MkdirAll(filepath.Join(dir, "log"), 0o755); err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(dir, "log", "evil.db"), []byte("x"), 0o644)
+		}},
+		{"ckpt", func(dir string) error {
+			if err := os.MkdirAll(filepath.Join(dir, "ckpt"), 0o755); err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(dir, "ckpt", "readme"), []byte("x"), 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := tc.plant(dir); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Open(dir, Options{})
+			if !errors.Is(err, ErrDirtyDir) {
+				t.Fatalf("Open = %v, want ErrDirtyDir", err)
+			}
+		})
+	}
+}
+
+func TestSegmentRotationReplaysAll(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxSegmentBytes: 96})
+	const n = 25
+	for i := 0; i < n; i++ {
+		rec := Record{JobID: jobID(i), Hash: "deadbeef", State: StateQueued}
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, stats %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, Options{MaxSegmentBytes: 96})
+	if got := r.Stats(); got.Records != n || got.Jobs != n || got.Segments != st.Segments {
+		t.Fatalf("replay stats %+v, want %d records over %d segments", got, n, st.Segments)
+	}
+}
+
+func jobID(i int) string {
+	return fmt.Sprintf("j%06d", i+1)
+}
+
+func TestCheckpointSaveLatestPrune(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	hash := "0123456789abcdef0123456789abcdef"
+	if _, _, err := s.LatestCheckpoint(hash); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty LatestCheckpoint = %v, want ErrNoCheckpoint", err)
+	}
+	if err := s.SaveCheckpoint(hash, 4, []byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCheckpoint(hash, 8, []byte("eight")); err != nil {
+		t.Fatal(err)
+	}
+	blob, round, err := s.LatestCheckpoint(hash)
+	if err != nil || round != 8 || string(blob) != "eight" {
+		t.Fatalf("LatestCheckpoint = %q r%d %v", blob, round, err)
+	}
+	// Prune kept exactly one blob on disk, under the deterministic name.
+	entries, err := os.ReadDir(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != CheckpointName(hash, 8) {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("ckpt dir = %v, want exactly %s", names, CheckpointName(hash, 8))
+	}
+	s.DropCheckpoints(hash)
+	if _, _, err := s.LatestCheckpoint(hash); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("after drop, LatestCheckpoint = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointNameDeterministic(t *testing.T) {
+	a := CheckpointName("ABCDEF0123456789ffff", 42)
+	b := CheckpointName("abcdef0123456789ffff", 42)
+	if a != b || a != "abcdef0123456789-r00000042.ckpt" {
+		t.Fatalf("CheckpointName not deterministic: %q vs %q", a, b)
+	}
+}
+
+func TestCheckpointTempSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.SaveCheckpoint("cafe", 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A crash mid-save leaves a .tmp behind; reopen must sweep it, not
+	// reject the dir.
+	tmp := filepath.Join(dir, "ckpt", "cafe-r00000002.ckpt.123.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, Options{})
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file survived reopen: %v", err)
+	}
+	if _, round, err := r.LatestCheckpoint("cafe"); err != nil || round != 1 {
+		t.Fatalf("LatestCheckpoint after sweep = r%d %v", round, err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{JobID: "j000001"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := s.SaveCheckpoint("h", 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SaveCheckpoint after Close = %v, want ErrClosed", err)
+	}
+}
