@@ -38,7 +38,9 @@
 // thousands of agents; the vectorized kernel runs linear mass-passing
 // algorithms over flat float64 buffers with zero steady-state allocations,
 // falling back to the sequential engine — identical traces — for
-// algorithms it cannot express), WithOnRound streams per-round progress,
+// algorithms it cannot express), WithParallelism sets the degree of
+// parallelism (shard count for the sharded engine, worker count for the
+// parallel vectorized kernel), WithOnRound streams per-round progress,
 // WithPatience /
 // WithMaxRounds tune stabilization detection, and WithFaults injects
 // seeded deterministic faults (message drop/dup/delay, agent
@@ -255,6 +257,11 @@ var (
 	// ErrNotVectorizable when the algorithm does not implement the vector
 	// contract (model.VectorAgent).
 	NewVectorizedEngine = engine.NewVectorized
+	// NewParallelVecEngine returns the multi-worker vectorized kernel
+	// (workers ≤ 0 means one per core); traces are byte-identical to the
+	// sequential engine, and checkpoints interchange with the
+	// single-threaded kernel.
+	NewParallelVecEngine = engine.NewParallelVec
 	// ErrNotVectorizable reports a config the vectorized kernel cannot
 	// run; check it with errors.Is.
 	ErrNotVectorizable = engine.ErrNotVectorizable
@@ -330,20 +337,31 @@ const (
 	Vectorized
 )
 
-// String names the engine as the job-spec JSON does.
+// String names the engine as the job-spec JSON does. The names come from
+// the engine package's single name table, shared with ParseEngineKind,
+// the job-spec "engine" field, and the anonsim -engine flag.
 func (e EngineKind) String() string {
-	switch e {
-	case Sequential:
-		return "seq"
-	case Concurrent:
-		return "conc"
-	case Sharded:
-		return "shard"
-	case Vectorized:
-		return "vec"
-	default:
-		return fmt.Sprintf("EngineKind(%d)", int(e))
+	if names := engine.Names(); e >= 0 && int(e) < len(names) {
+		return names[e]
 	}
+	return fmt.Sprintf("EngineKind(%d)", int(e))
+}
+
+// ParseEngineKind resolves an engine name — canonical ("seq", "conc",
+// "shard", "vec") or long alias ("sequential", "concurrent", "sharded",
+// "vectorized"), case-insensitively — to its EngineKind. The empty string
+// is Sequential.
+func ParseEngineKind(name string) (EngineKind, error) {
+	canon, ok := engine.CanonicalName(name)
+	if !ok {
+		return 0, fmt.Errorf("anonnet: unknown engine %q (want %s)", name, engine.NamesList())
+	}
+	for i, n := range engine.Names() {
+		if n == canon {
+			return EngineKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("anonnet: unknown engine %q (want %s)", name, engine.NamesList())
 }
 
 // Spec bundles what one Compute call executes: the algorithm (as an agent
@@ -361,14 +379,14 @@ type Spec struct {
 
 // computeConfig is the option-resolved execution tuning.
 type computeConfig struct {
-	engine    EngineKind
-	shards    int
-	maxRounds int
-	patience  int
-	seed      int64
-	starts    []int
-	onRound   func(round int, outputs []Value)
-	faults    *faults.Plan
+	engine      EngineKind
+	parallelism int
+	maxRounds   int
+	patience    int
+	seed        int64
+	starts      []int
+	onRound     func(round int, outputs []Value)
+	faults      *faults.Plan
 }
 
 // Option tunes a Compute call.
@@ -379,10 +397,14 @@ func WithEngine(e EngineKind) Option {
 	return func(c *computeConfig) { c.engine = e }
 }
 
-// WithShards sets the sharded engine's shard count (default: one per
-// core). It only has an effect together with WithEngine(Sharded).
-func WithShards(k int) Option {
-	return func(c *computeConfig) { c.shards = k }
+// WithParallelism sets the engine's degree of parallelism (default: one
+// worker per core for the sharded engine, single-threaded for the
+// vectorized one). With WithEngine(Sharded) it is the shard count; with
+// WithEngine(Vectorized) and k ≥ 1 it selects the parallel vectorized
+// kernel with k workers. The trace is independent of k on every engine.
+// It has no effect on the Sequential and Concurrent engines.
+func WithParallelism(k int) Option {
+	return func(c *computeConfig) { c.parallelism = k }
 }
 
 // WithMaxRounds bounds the execution (default 10000).
@@ -483,7 +505,7 @@ func Compute(ctx context.Context, spec Spec, opts ...Option) (*ComputeResult, er
 	// One engine-selection point for the whole repo: engine.NewRunner maps
 	// the name to the runner and handles the vec→seq fallback (identical
 	// traces) itself.
-	r, err := engine.NewRunner(cfg, cc.engine.String(), cc.shards)
+	r, err := engine.NewRunner(cfg, cc.engine.String(), cc.parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -53,11 +53,13 @@ func TestComputeEngineOption(t *testing.T) {
 	}
 	seq := run(anonnet.WithEngine(anonnet.Sequential))
 	con := run(anonnet.WithEngine(anonnet.Concurrent))
-	shd := run(anonnet.WithEngine(anonnet.Sharded), anonnet.WithShards(3))
+	shd := run(anonnet.WithEngine(anonnet.Sharded), anonnet.WithParallelism(3))
 	// The static minbase pipeline is not vectorizable, so Vectorized
-	// exercises the silent fallback — still byte-identical to seq.
+	// exercises the silent fallback — still byte-identical to seq —
+	// with and without parallelism.
 	vec := run(anonnet.WithEngine(anonnet.Vectorized))
-	for _, other := range []*anonnet.ComputeResult{con, shd, vec} {
+	pvc := run(anonnet.WithEngine(anonnet.Vectorized), anonnet.WithParallelism(2))
+	for _, other := range []*anonnet.ComputeResult{con, shd, vec, pvc} {
 		if seq.Rounds != other.Rounds || seq.StabilizedAt != other.StabilizedAt {
 			t.Fatalf("engines disagree: seq %+v vs %+v", seq, other)
 		}
@@ -93,13 +95,59 @@ func TestComputeVectorizedKernel(t *testing.T) {
 	}
 	seq := run(anonnet.WithEngine(anonnet.Sequential))
 	vec := run(anonnet.WithEngine(anonnet.Vectorized))
-	if seq.Rounds != vec.Rounds || seq.StabilizedAt != vec.StabilizedAt {
-		t.Fatalf("engines disagree: seq %+v vs vec %+v", seq, vec)
-	}
-	for i := range seq.Outputs {
-		if seq.Outputs[i] != vec.Outputs[i] {
-			t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], vec.Outputs[i])
+	// WithParallelism routes to the parallel vectorized kernel; the trace
+	// contract makes it indistinguishable from the others.
+	pvc := run(anonnet.WithEngine(anonnet.Vectorized), anonnet.WithParallelism(3))
+	for _, other := range []*anonnet.ComputeResult{vec, pvc} {
+		if seq.Rounds != other.Rounds || seq.StabilizedAt != other.StabilizedAt {
+			t.Fatalf("engines disagree: seq %+v vs %+v", seq, other)
 		}
+		for i := range seq.Outputs {
+			if seq.Outputs[i] != other.Outputs[i] {
+				t.Fatalf("output %d differs: %v vs %v", i, seq.Outputs[i], other.Outputs[i])
+			}
+		}
+	}
+}
+
+// TestWithShardsDeprecatedAlias keeps the deprecated option compiling and
+// behaving as WithParallelism.
+func TestWithShardsDeprecatedAlias(t *testing.T) {
+	setting := anonnet.Setting{Kind: anonnet.OutdegreeAware, Static: true, Row: anonnet.RowNoHelp}
+	factory, err := anonnet.NewFactory(anonnet.Average(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := anonnet.Compute(context.Background(), anonnet.Spec{
+		Factory:  factory,
+		Schedule: anonnet.NewStatic(anonnet.BidirectionalRing(6)),
+		Inputs:   anonnet.Inputs(1, 2, 3, 4, 5, 6),
+		Kind:     setting.Kind,
+	}, anonnet.WithEngine(anonnet.Sharded), anonnet.WithShards(3), anonnet.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("sharded run with deprecated WithShards did not stabilize")
+	}
+}
+
+// TestParseEngineKind pins the shared-name-table round trip on the facade.
+func TestParseEngineKind(t *testing.T) {
+	for _, k := range []anonnet.EngineKind{anonnet.Sequential, anonnet.Concurrent, anonnet.Sharded, anonnet.Vectorized} {
+		got, err := anonnet.ParseEngineKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseEngineKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if k, err := anonnet.ParseEngineKind("Vectorized"); err != nil || k != anonnet.Vectorized {
+		t.Fatalf("long alias: %v, %v", k, err)
+	}
+	if k, err := anonnet.ParseEngineKind(""); err != nil || k != anonnet.Sequential {
+		t.Fatalf("empty name: %v, %v", k, err)
+	}
+	if _, err := anonnet.ParseEngineKind("turbo"); err == nil {
+		t.Fatal("want error for unknown engine name")
 	}
 }
 

@@ -424,6 +424,7 @@ func BenchmarkEngineSharded(b *testing.B) {
 		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
 		{"shard", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 0) }},
 		{"vec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewVectorized(cfg) }},
+		{"parvec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewParallelVec(cfg, 0) }},
 	}
 	for _, n := range []int{16, 64, 256, 1024} {
 		inputs := make([]model.Input, n)
@@ -499,6 +500,51 @@ func BenchmarkVecRound(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParallelVecRound measures the parallel vectorized kernel's
+// steady-state round loop: construction and warm-up happen outside the
+// timer, so every timed op is one Step over reused slabs and persistent
+// workers. Like BenchmarkVecRound, the CI bench-smoke job fails when this
+// reports a nonzero allocs/op — the parallel path must stay allocation-free
+// per round (channel hand-off and barrier included). The worker sweep shows
+// the coordination overhead at small n and the scaling headroom at large n;
+// cmd/benchreport -scale extends the same workload to n=10⁵/10⁶ for
+// BENCH_engine.json.
+func BenchmarkParallelVecRound(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		for _, workers := range []int{2, 4} {
+			b.Run(fmt.Sprintf("pushsum/n=%d/w=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				inputs := make([]model.Input, n)
+				for j := range inputs {
+					inputs[j] = model.Input{Value: float64(j % 31)}
+				}
+				v, err := engine.NewParallelVec(engine.Config{
+					Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
+					Kind:     model.OutdegreeAware,
+					Inputs:   inputs,
+					Factory:  pushsum.NewAverageFactory(),
+					Seed:     1,
+				}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer v.Close()
+				for t := 0; t < 3; t++ { // warm-up: grow every reusable buffer
+					if err := v.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := v.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -49,7 +48,8 @@ func run() error {
 		every      = flag.Int("every", 0, "print outputs every k rounds (0: only the final)")
 		seed       = flag.Int64("seed", 1, "RNG seed")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-agent engine")
-		engineFlag = flag.String("engine", "", "round engine: seq, conc, shard, vec (vec falls back to seq when the algorithm is not vectorizable)")
+		engineFlag = flag.String("engine", "", "round engine: "+engine.NamesList()+" (vec falls back to seq when the algorithm is not vectorizable)")
+		parallel   = flag.Int("parallel", 0, "degree of parallelism: shard count for -engine shard (0: one per core), worker count for -engine vec (0: single-threaded kernel)")
 		dot        = flag.Bool("dot", false, "print the round-1 network in Graphviz dot format and exit")
 
 		dropP    = flag.Float64("drop", 0, "fault: per-message drop probability")
@@ -141,7 +141,7 @@ func run() error {
 	if injector != nil {
 		cfg.Faults = injector
 	}
-	r, err := newRunner(cfg, *engineFlag, *concurrent)
+	r, err := newRunner(cfg, *engineFlag, *concurrent, *parallel)
 	if err != nil {
 		return err
 	}
@@ -176,31 +176,19 @@ func run() error {
 	return nil
 }
 
-// newRunner selects the round engine. The -engine flag wins; the legacy
-// -concurrent flag keeps working when -engine is unset. engine=vec falls
-// back to the sequential engine — byte-identical traces — when the
-// algorithm does not implement the vector contract.
-func newRunner(cfg engine.Config, name string, concurrent bool) (engine.Runner, error) {
+// newRunner selects the round engine through the shared engine-name table
+// and selection point. The -engine flag wins; the legacy -concurrent flag
+// keeps working when -engine is unset. engine=vec falls back to the
+// sequential engine — byte-identical traces — when the algorithm does not
+// implement the vector contract.
+func newRunner(cfg engine.Config, name string, concurrent bool, parallel int) (engine.Runner, error) {
 	if name == "" && concurrent {
 		name = "conc"
 	}
-	switch strings.ToLower(name) {
-	case "", "seq", "sequential":
-		return engine.New(cfg)
-	case "conc", "concurrent":
-		return engine.NewConcurrent(cfg)
-	case "shard", "sharded":
-		return engine.NewSharded(cfg, 0)
-	case "vec", "vectorized":
-		r, err := engine.NewVectorized(cfg)
-		if errors.Is(err, engine.ErrNotVectorizable) {
-			fmt.Println("engine:  vec requested but the algorithm is not vectorizable; using seq (identical traces)")
-			return engine.New(cfg)
-		}
-		return r, err
-	default:
-		return nil, fmt.Errorf("unknown engine %q (want seq, conc, shard, or vec)", name)
+	if canon, ok := engine.CanonicalName(name); ok && canon == "vec" && !engine.CanVectorize(cfg) {
+		fmt.Println("engine:  vec requested but the algorithm is not vectorizable; using seq (identical traces)")
 	}
+	return engine.NewRunner(cfg, name, parallel)
 }
 
 func expectedValue(f funcs.Func, inputs []model.Input) float64 {

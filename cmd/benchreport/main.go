@@ -1,22 +1,31 @@
 // Command benchreport regenerates BENCH_engine.json, the committed record
-// of the four-engine Push-Sum benchmark (the same workload as the
+// of the engine Push-Sum benchmark (the same workload as the
 // BenchmarkEngineSharded family in bench_test.go): 50 steady-state rounds
 // of Push-Sum average on a bidirectional ring, for each engine (sequential,
-// concurrent, sharded, vectorized) at each size n ∈ {16, 64, 256, 1024}.
-// Each engine is constructed and warmed up outside the timed region, so an
-// op is exactly 50 rounds of the warm round loop — the per-round engine
-// overhead the family exists to isolate — and the allocs_per_op /
-// bytes_per_op columns record what that loop allocates (zero, for the
-// vectorized kernel). Timings come from testing.Benchmark, so iteration
-// counts auto-scale to the benchtime.
+// concurrent, sharded, vectorized, parallel-vectorized) at each size
+// n ∈ {16, 64, 256, 1024}. Each engine is constructed and warmed up
+// outside the timed region, so an op is exactly 50 rounds of the warm
+// round loop — the per-round engine overhead the family exists to isolate
+// — and the allocs_per_op / bytes_per_op columns record what that loop
+// allocates (zero, for both vectorized kernels). Timings come from
+// testing.Benchmark, so iteration counts auto-scale to the benchtime.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_engine.json] [-benchtime 1s]
+//	go run ./cmd/benchreport [-o BENCH_engine.json] [-benchtime 1s] [-scale]
 //
-// The report also derives shard-vs-sequential, shard-vs-concurrent, and
-// vec-vs-sequential speedups per size; the headline numbers are the n=256
-// shard/conc ratio and the n=1024 vec/seq ratio.
+// -scale appends the large-n sweep: seq, vec, and parvec at
+// n ∈ {10⁴, 10⁵, 10⁶} on ring, torus, and random strongly-connected
+// topologies, 10 steady-state rounds per op. That is the workload behind
+// the README perf table and the parallel kernel's speedup claim; the
+// parvec_vs_vec column is only meaningful when gomaxprocs in the report
+// header is ≥ 2 (on one core the parallel kernel pays its barrier overhead
+// without any parallelism to show for it).
+//
+// The report also derives shard-vs-sequential, shard-vs-concurrent,
+// vec-vs-sequential, and parvec-vs-vec speedups per (topology, size); the
+// headline numbers are the n=1024 vec/seq ratio and — with -scale on a
+// multicore machine — the n=10⁵ parvec/vec ratio.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -41,12 +51,22 @@ import (
 // numbers and the `go test -bench=EngineSharded` numbers are comparable.
 const benchRounds = 50
 
+// scaleRounds is the -scale sweep's rounds per op: shorter than the core
+// sweep because a single round at n=10⁶ is already milliseconds of work.
+const scaleRounds = 10
+
 // warmupRounds grows every reusable buffer before the timer starts.
 const warmupRounds = 3
 
 type measurement struct {
-	Engine      string  `json:"engine"`
-	N           int     `json:"n"`
+	Engine string `json:"engine"`
+	// Topology is the network family the workload runs on ("ring" for the
+	// core sweep; -scale adds "torus" and "random").
+	Topology string `json:"topology"`
+	N        int    `json:"n"`
+	// Workers is the parallel kernel's worker count (0 for the
+	// single-threaded engines; parvec uses one worker per core).
+	Workers     int     `json:"workers,omitempty"`
 	Rounds      int     `json:"rounds"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     int64   `json:"ns_per_op"`
@@ -66,10 +86,13 @@ type measurement struct {
 }
 
 type speedup struct {
-	N          int     `json:"n"`
-	ShardVsSeq float64 `json:"shard_vs_seq"`
-	ShardVsCon float64 `json:"shard_vs_conc"`
-	VecVsSeq   float64 `json:"vec_vs_seq"`
+	Topology    string  `json:"topology"`
+	N           int     `json:"n"`
+	ShardVsSeq  float64 `json:"shard_vs_seq,omitempty"`
+	ShardVsCon  float64 `json:"shard_vs_conc,omitempty"`
+	VecVsSeq    float64 `json:"vec_vs_seq,omitempty"`
+	ParVecVsSeq float64 `json:"parvec_vs_seq,omitempty"`
+	ParVecVsVec float64 `json:"parvec_vs_vec,omitempty"`
 }
 
 type report struct {
@@ -88,16 +111,38 @@ type topoStatser interface {
 	TopologyStats() topology.BuildStats
 }
 
-func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) (testing.BenchmarkResult, topology.BuildStats) {
+// buildGraph constructs the named topology at size n. Torus picks the
+// most-square rows×cols factorization of n; random is a seeded
+// strongly-connected digraph with n/8 extra arcs over the Hamiltonian
+// cycle.
+func buildGraph(topo string, n int) *graph.Graph {
+	switch topo {
+	case "ring":
+		return graph.BidirectionalRing(n)
+	case "torus":
+		rows := int(math.Sqrt(float64(n)))
+		for n%rows != 0 {
+			rows--
+		}
+		return graph.Torus(rows, n/rows)
+	case "random":
+		return graph.RandomStronglyConnected(n, n/8, rand.New(rand.NewSource(1)))
+	default:
+		panic("benchreport: unknown topology " + topo)
+	}
+}
+
+func benchOnce(mk func(engine.Config) (engine.Runner, error), topo string, n, rounds int) (testing.BenchmarkResult, topology.BuildStats) {
 	inputs := make([]model.Input, n)
 	for j := range inputs {
 		inputs[j] = model.Input{Value: float64(j % 31)}
 	}
+	g := buildGraph(topo, n)
 	var stats topology.BuildStats
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		r, err := mk(engine.Config{
-			Schedule: dynamic.NewStatic(graph.BidirectionalRing(n)),
+			Schedule: dynamic.NewStatic(g),
 			Kind:     model.OutdegreeAware,
 			Inputs:   inputs,
 			Factory:  pushsum.NewAverageFactory(),
@@ -114,7 +159,7 @@ func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) (testing.Be
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			for t := 0; t < benchRounds; t++ {
+			for t := 0; t < rounds; t++ {
 				if err := r.Step(); err != nil {
 					b.Fatal(err)
 				}
@@ -130,9 +175,15 @@ func benchOnce(mk func(engine.Config) (engine.Runner, error), n int) (testing.Be
 	return res, stats
 }
 
+type engineCase struct {
+	name string
+	mk   func(engine.Config) (engine.Runner, error)
+}
+
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "1s", "per-case benchtime (testing -benchtime syntax)")
+	scale := flag.Bool("scale", false, "append the large-n sweep (seq/vec/parvec at n=10⁴..10⁶ on ring/torus/random)")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -140,59 +191,101 @@ func main() {
 		os.Exit(1)
 	}
 
-	engines := []struct {
-		name string
-		mk   func(engine.Config) (engine.Runner, error)
-	}{
+	parvecWorkers := runtime.GOMAXPROCS(0)
+	engines := []engineCase{
 		{"seq", func(cfg engine.Config) (engine.Runner, error) { return engine.New(cfg) }},
 		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
 		{"shard", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 0) }},
 		{"vec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewVectorized(cfg) }},
+		{"parvec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewParallelVec(cfg, 0) }},
 	}
 	sizes := []int{16, 64, 256, 1024}
 
 	rep := report{
-		Workload:    fmt.Sprintf("pushsum average, bidirectional ring, %d steady-state rounds (construction and warm-up untimed), outdegree-aware", benchRounds),
+		Workload:    fmt.Sprintf("pushsum average, %d steady-state rounds per op on the core ring sweep and %d on the -scale sweep (construction and warm-up untimed), outdegree-aware", benchRounds, scaleRounds),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Benchtime:   *benchtime,
 	}
-	perOp := map[string]map[int]int64{}
+	// perOp[topology][engine][n] = ns/op, feeding the speedup table.
+	perOp := map[string]map[string]map[int]int64{}
+	runCase := func(eng engineCase, topoName string, n, rounds int) {
+		res, topo := benchOnce(eng.mk, topoName, n, rounds)
+		ns := res.NsPerOp()
+		if perOp[topoName] == nil {
+			perOp[topoName] = map[string]map[int]int64{}
+		}
+		if perOp[topoName][eng.name] == nil {
+			perOp[topoName][eng.name] = map[int]int64{}
+		}
+		perOp[topoName][eng.name][n] = ns
+		rps := 0.0
+		if ns > 0 {
+			rps = math.Round(float64(rounds)*1e9/float64(ns)*10) / 10
+		}
+		workers := 0
+		if eng.name == "parvec" {
+			workers = parvecWorkers
+		}
+		rep.Measurements = append(rep.Measurements, measurement{
+			Engine:          eng.name,
+			Topology:        topoName,
+			N:               n,
+			Workers:         workers,
+			Rounds:          rounds,
+			Iterations:      res.N,
+			NsPerOp:         ns,
+			MsPerOp:         float64(ns) / 1e6,
+			AllocsPerOp:     res.AllocsPerOp(),
+			BytesPerOp:      res.AllocedBytesPerOp(),
+			RoundsPerSec:    rps,
+			TopologyBuilds:  topo.Builds,
+			TopologyBuildNs: topo.BuildNanos,
+		})
+		fmt.Fprintf(os.Stderr, "%-6s %-6s n=%-8d %12d ns/op %8d allocs/op %10.0f rounds/s  %d builds (%d ns)  (%d iters)\n",
+			eng.name, topoName, n, ns, res.AllocsPerOp(), rps, topo.Builds, topo.BuildNanos, res.N)
+	}
 	for _, eng := range engines {
-		perOp[eng.name] = map[int]int64{}
 		for _, n := range sizes {
-			res, topo := benchOnce(eng.mk, n)
-			ns := res.NsPerOp()
-			perOp[eng.name][n] = ns
-			rps := 0.0
-			if ns > 0 {
-				rps = math.Round(float64(benchRounds)*1e9/float64(ns)*10) / 10
-			}
-			rep.Measurements = append(rep.Measurements, measurement{
-				Engine:          eng.name,
-				N:               n,
-				Rounds:          benchRounds,
-				Iterations:      res.N,
-				NsPerOp:         ns,
-				MsPerOp:         float64(ns) / 1e6,
-				AllocsPerOp:     res.AllocsPerOp(),
-				BytesPerOp:      res.AllocedBytesPerOp(),
-				RoundsPerSec:    rps,
-				TopologyBuilds:  topo.Builds,
-				TopologyBuildNs: topo.BuildNanos,
-			})
-			fmt.Fprintf(os.Stderr, "%-5s n=%-5d %10d ns/op %8d allocs/op %10.0f rounds/s  %d builds (%d ns)  (%d iters)\n",
-				eng.name, n, ns, res.AllocsPerOp(), rps, topo.Builds, topo.BuildNanos, res.N)
+			runCase(eng, "ring", n, benchRounds)
 		}
 	}
-	for _, n := range sizes {
+	scaleSizes := []int{10_000, 100_000, 1_000_000}
+	scaleTopos := []string{"ring", "torus", "random"}
+	if *scale {
+		for _, topoName := range scaleTopos {
+			for _, n := range scaleSizes {
+				for _, eng := range engines {
+					switch eng.name {
+					case "seq", "vec", "parvec":
+						runCase(eng, topoName, n, scaleRounds)
+					}
+				}
+			}
+		}
+	}
+	addSpeedup := func(topoName string, n int) {
+		ops := perOp[topoName]
 		rep.Speedups = append(rep.Speedups, speedup{
-			N:          n,
-			ShardVsSeq: ratio(perOp["seq"][n], perOp["shard"][n]),
-			ShardVsCon: ratio(perOp["conc"][n], perOp["shard"][n]),
-			VecVsSeq:   ratio(perOp["seq"][n], perOp["vec"][n]),
+			Topology:    topoName,
+			N:           n,
+			ShardVsSeq:  ratio(ops["seq"][n], ops["shard"][n]),
+			ShardVsCon:  ratio(ops["conc"][n], ops["shard"][n]),
+			VecVsSeq:    ratio(ops["seq"][n], ops["vec"][n]),
+			ParVecVsSeq: ratio(ops["seq"][n], ops["parvec"][n]),
+			ParVecVsVec: ratio(ops["vec"][n], ops["parvec"][n]),
 		})
+	}
+	for _, n := range sizes {
+		addSpeedup("ring", n)
+	}
+	if *scale {
+		for _, topoName := range scaleTopos {
+			for _, n := range scaleSizes {
+				addSpeedup(topoName, n)
+			}
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

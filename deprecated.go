@@ -54,3 +54,12 @@ func (o ComputeOptions) options() []Option {
 func ComputeCtx(ctx context.Context, factory Factory, schedule Schedule, inputs []Input, opts ComputeOptions) (*ComputeResult, error) {
 	return Compute(ctx, Spec{Factory: factory, Schedule: schedule, Inputs: inputs, Kind: opts.Kind}, opts.options()...)
 }
+
+// WithShards sets the sharded engine's shard count. Since the parallel
+// vectorized kernel, parallelism is an engine-agnostic knob.
+//
+// Deprecated: use WithParallelism, which also applies to the vectorized
+// engine.
+func WithShards(k int) Option {
+	return WithParallelism(k)
+}

@@ -201,13 +201,20 @@ func (c *core) Restore(cp *Checkpoint) error {
 	return nil
 }
 
-// restoreCore applies the engine-independent half of a checkpoint.
+// restoreCore applies the engine-independent half of a checkpoint after
+// checking the snapshot was taken on a runner with the same pending-state
+// layout (the Engine tag).
 func (c *core) restoreCore(cp *Checkpoint) error {
-	if c.round != 0 {
-		return fmt.Errorf("engine: Restore on a runner that already ran %d rounds", c.round)
-	}
 	if cp.Engine != c.name {
 		return fmt.Errorf("engine: checkpoint taken on %q engine, restoring on %q", cp.Engine, c.name)
+	}
+	return c.restoreState(cp)
+}
+
+// restoreState applies the engine-independent half of a checkpoint.
+func (c *core) restoreState(cp *Checkpoint) error {
+	if c.round != 0 {
+		return fmt.Errorf("engine: Restore on a runner that already ran %d rounds", c.round)
 	}
 	if len(cp.Agents) != len(c.agents) {
 		return fmt.Errorf("engine: checkpoint has %d agent states for %d agents", len(cp.Agents), len(c.agents))
@@ -228,18 +235,26 @@ func (c *core) restoreCore(cp *Checkpoint) error {
 	return nil
 }
 
-// Snapshot captures the vectorized engine's state: the core snapshot plus
+// vecCheckpointEngine is the Engine tag both vector runners stamp on
+// their checkpoints: they share the VecDelayed pending layout (and the
+// RNG draw sequence), so a snapshot taken on one resumes on the other —
+// vec ↔ parallel vec — while the generic engines still refuse it.
+const vecCheckpointEngine = "vectorized"
+
+// Snapshot captures a vectorized engine's state: the core snapshot plus
 // the pending delayed rows (the flat SoA buffers themselves are rewritten
-// every round and need no capture at a round boundary).
-func (v *Vectorized) Snapshot() (*Checkpoint, error) {
-	cp, err := v.core.Snapshot()
+// every round and need no capture at a round boundary). Shared by the
+// single-threaded and parallel vectorized runners.
+func snapshotVec(c *core, vpend *vecPending, width int) (*Checkpoint, error) {
+	cp, err := c.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	if v.vpend != nil {
-		vd := &VecDelayed{Width: v.width, Due: make([][]int, v.N()), Buf: make([][]float64, v.N())}
-		for dst := range v.vpend.byDst {
-			q := &v.vpend.byDst[dst]
+	cp.Engine = vecCheckpointEngine
+	if vpend != nil {
+		vd := &VecDelayed{Width: width, Due: make([][]int, c.N()), Buf: make([][]float64, c.N())}
+		for dst := range vpend.byDst {
+			q := &vpend.byDst[dst]
 			vd.Due[dst] = append([]int(nil), q.due...)
 			vd.Buf[dst] = append([]float64(nil), q.buf...)
 		}
@@ -248,33 +263,62 @@ func (v *Vectorized) Snapshot() (*Checkpoint, error) {
 	return cp, nil
 }
 
-// Restore rewinds a fresh vectorized runner to cp's round boundary.
-func (v *Vectorized) Restore(cp *Checkpoint) error {
-	if err := v.core.restoreCore(cp); err != nil {
+// restoreVec rewinds a fresh vectorized runner (either of the two) to
+// cp's round boundary.
+func restoreVec(c *core, vpend *vecPending, width int, cp *Checkpoint) error {
+	if cp.Engine != vecCheckpointEngine {
+		return fmt.Errorf("engine: checkpoint taken on %q engine, restoring on %q", cp.Engine, c.name)
+	}
+	if err := c.restoreState(cp); err != nil {
 		return err
 	}
 	if cp.VecDelayed == nil {
 		return nil
 	}
-	if v.vpend == nil {
+	if vpend == nil {
 		return fmt.Errorf("engine: checkpoint carries delayed rows but this run has no fault injector")
 	}
 	vd := cp.VecDelayed
-	if vd.Width != v.width {
-		return fmt.Errorf("engine: checkpoint delayed rows have width %d, engine width is %d", vd.Width, v.width)
+	if vd.Width != width {
+		return fmt.Errorf("engine: checkpoint delayed rows have width %d, engine width is %d", vd.Width, width)
 	}
-	if len(vd.Due) != v.N() || len(vd.Buf) != v.N() {
-		return fmt.Errorf("engine: checkpoint delayed rows for %d destinations, want %d", len(vd.Due), v.N())
+	if len(vd.Due) != c.N() || len(vd.Buf) != c.N() {
+		return fmt.Errorf("engine: checkpoint delayed rows for %d destinations, want %d", len(vd.Due), c.N())
 	}
-	for dst := range v.vpend.byDst {
-		q := &v.vpend.byDst[dst]
-		if len(vd.Buf[dst]) != len(vd.Due[dst])*v.width {
+	for dst := range vpend.byDst {
+		q := &vpend.byDst[dst]
+		if len(vd.Buf[dst]) != len(vd.Due[dst])*width {
 			return fmt.Errorf("engine: checkpoint delayed buffer for destination %d has %d floats for %d rows", dst, len(vd.Buf[dst]), len(vd.Due[dst]))
 		}
 		q.due = append(q.due[:0], vd.Due[dst]...)
 		q.buf = append(q.buf[:0], vd.Buf[dst]...)
 	}
 	return nil
+}
+
+// Snapshot captures the vectorized engine's state.
+func (v *Vectorized) Snapshot() (*Checkpoint, error) {
+	return snapshotVec(v.core, v.vpend, v.width)
+}
+
+// Restore rewinds a fresh vectorized runner to cp's round boundary. It
+// also accepts checkpoints taken on the parallel vectorized runner — the
+// pending layout and draw sequence are identical.
+func (v *Vectorized) Restore(cp *Checkpoint) error {
+	return restoreVec(v.core, v.vpend, v.width, cp)
+}
+
+// Snapshot captures the parallel vectorized engine's state. The snapshot
+// carries the vectorized Engine tag: both vector runners produce the same
+// draw sequence and pending layout, so their checkpoints interchange.
+func (p *ParallelVec) Snapshot() (*Checkpoint, error) {
+	return snapshotVec(p.core, p.vpend, p.width)
+}
+
+// Restore rewinds a fresh parallel vectorized runner to a round boundary
+// checkpointed on either vector runner.
+func (p *ParallelVec) Restore(cp *Checkpoint) error {
+	return restoreVec(p.core, p.vpend, p.width, cp)
 }
 
 // CanCheckpoint reports whether a runner's execution can be checkpointed:

@@ -89,6 +89,7 @@ func ckptRunners() []struct {
 		{"conc", func(cfg engine.Config) (engine.Runner, error) { return engine.NewConcurrent(cfg) }},
 		{"shard3", func(cfg engine.Config) (engine.Runner, error) { return engine.NewSharded(cfg, 3) }},
 		{"vec", func(cfg engine.Config) (engine.Runner, error) { return engine.NewVectorized(cfg) }},
+		{"parvec3", func(cfg engine.Config) (engine.Runner, error) { return engine.NewParallelVec(cfg, 3) }},
 	}
 }
 

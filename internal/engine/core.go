@@ -418,19 +418,32 @@ func shuffleMessages(msgs []model.Message, rng *rand.Rand) {
 // NewRunner constructs the named runner over cfg: "seq" (or "") for the
 // sequential engine, "conc" for the concurrent one, "shard" for the
 // sharded one with the given shard count, and "vec" for the vectorized
-// kernel with silent fallback to the sequential engine when the workload
-// is not vectorizable (the traces are identical either way). This is the
-// one engine-selection point shared by the facade and the job runner.
+// kernel — single-threaded when shards ≤ 0, the parallel kernel with
+// shards workers otherwise — with silent fallback to the sequential
+// engine when the workload is not vectorizable (the traces are identical
+// either way). Names resolve through the engine-name table, so the long
+// aliases ("sequential", "vectorized", …) work too. This is the one
+// engine-selection point shared by the facade and the job runner.
 func NewRunner(cfg Config, name string, shards int) (Runner, error) {
-	switch name {
-	case "", "seq":
+	canon, ok := CanonicalName(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (want %s)", name, NamesList())
+	}
+	switch canon {
+	case "seq":
 		return New(cfg)
 	case "conc":
 		return NewConcurrent(cfg)
 	case "shard":
 		return NewSharded(cfg, shards)
-	case "vec":
-		r, err := NewVectorized(cfg)
+	default: // "vec"
+		var r Runner
+		var err error
+		if shards > 0 {
+			r, err = NewParallelVec(cfg, shards)
+		} else {
+			r, err = NewVectorized(cfg)
+		}
 		if err != nil {
 			if errors.Is(err, ErrNotVectorizable) {
 				return New(cfg)
@@ -438,7 +451,5 @@ func NewRunner(cfg Config, name string, shards int) (Runner, error) {
 			return nil, err
 		}
 		return r, nil
-	default:
-		return nil, fmt.Errorf("engine: unknown engine %q", name)
 	}
 }

@@ -125,6 +125,43 @@ func traceHash(t *testing.T, r engine.Runner, rounds int) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// TestGoldenTraceLargeN pins the parallel kernel's trace contract at
+// scale: at n=10⁵ on a bidirectional ring, the sequential engine, the
+// single-threaded kernel, and the parallel kernel (at a worker count that
+// does not divide n) must all reproduce the recorded hash. The constant
+// was recorded from the sequential engine; the large n makes the
+// destination-count-dependent RNG rejection paths (and hence the parallel
+// draw-splitting pass) statistically certain to be exercised.
+func TestGoldenTraceLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n golden trace skipped in -short mode")
+	}
+	const (
+		n      = 100_000
+		rounds = 3
+		golden = "436faf84cecab7275eec20258c7fc75ee989892fb32770181934b377c220222a"
+	)
+	runners := []struct {
+		name string
+		mk   func() (engine.Runner, error)
+	}{
+		{"seq", func() (engine.Runner, error) { return engine.New(pushsumConfig(n, 23)) }},
+		{"vec", func() (engine.Runner, error) { return engine.NewVectorized(pushsumConfig(n, 23)) }},
+		{"parvec7", func() (engine.Runner, error) { return engine.NewParallelVec(pushsumConfig(n, 23), 7) }},
+	}
+	for _, rn := range runners {
+		r, err := rn.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", rn.name, err)
+		}
+		got := traceHash(t, r, rounds)
+		r.Close()
+		if got != golden {
+			t.Errorf("%s: trace hash %s, want golden %s", rn.name, got, golden)
+		}
+	}
+}
+
 func TestGoldenTraces(t *testing.T) {
 	for _, gc := range goldenCases() {
 		t.Run(gc.name, func(t *testing.T) {
@@ -138,6 +175,13 @@ func TestGoldenTraces(t *testing.T) {
 				{"shard3", func() (engine.Runner, error) { return engine.NewSharded(goldenConfig(t, gc), 3) }},
 				{"vec", func() (engine.Runner, error) {
 					r, err := engine.NewVectorized(goldenConfig(t, gc))
+					if errors.Is(err, engine.ErrNotVectorizable) {
+						return nil, err // skipped below
+					}
+					return r, err
+				}},
+				{"parvec3", func() (engine.Runner, error) {
+					r, err := engine.NewParallelVec(goldenConfig(t, gc), 3)
 					if errors.Is(err, engine.ErrNotVectorizable) {
 						return nil, err // skipped below
 					}

@@ -147,7 +147,7 @@ func TestNewRunnerUnknownEngine(t *testing.T) {
 	}
 	if _, err := engine.NewRunner(cfg, "turbo", 0); err == nil {
 		t.Fatal("want error for unknown engine name")
-	} else if want := fmt.Sprintf("engine: unknown engine %q", "turbo"); err.Error() != want {
+	} else if want := fmt.Sprintf("engine: unknown engine %q (want %s)", "turbo", engine.NamesList()); err.Error() != want {
 		t.Fatalf("error %q, want %q", err, want)
 	}
 }

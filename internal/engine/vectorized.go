@@ -68,36 +68,11 @@ var ErrNotVectorizable = errors.New("engine: config is not vectorizable")
 // before round 1. It returns an error wrapping ErrNotVectorizable when the
 // algorithm cannot run on the vector kernel.
 func NewVectorized(cfg Config) (*Vectorized, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Kind == model.OutputPortAware {
-		return nil, fmt.Errorf("%w: the output-port model sends one message per port, not one fixed-width vector", ErrNotVectorizable)
-	}
-	core, err := newCore(cfg, "vectorized")
+	core, vecs, width, universe, err := newVecCore(cfg, "vectorized")
 	if err != nil {
 		return nil, err
 	}
 	n := core.N()
-	universe := universeOf(cfg.Inputs)
-	vecs := make([]model.VectorAgent, n)
-	width := 0
-	for i, a := range core.agents {
-		va, ok := a.(model.VectorAgent)
-		if !ok {
-			return nil, fmt.Errorf("%w: agent %d (%T) does not implement model.VectorAgent", ErrNotVectorizable, i, a)
-		}
-		w := va.InitVector(universe)
-		if w <= 0 {
-			return nil, fmt.Errorf("%w: agent %d (%T) declined vectorization", ErrNotVectorizable, i, a)
-		}
-		if i == 0 {
-			width = w
-		} else if w != width {
-			return nil, fmt.Errorf("engine: agent %d reports vector width %d, agent 0 reported %d", i, w, width)
-		}
-		vecs[i] = va
-	}
 	v := &Vectorized{
 		core:     core,
 		vecs:     vecs,
@@ -111,6 +86,42 @@ func NewVectorized(cfg Config) (*Vectorized, error) {
 		v.vpend = newVecPending(n, width)
 	}
 	return v, nil
+}
+
+// newVecCore is the shared constructor half of the vector executors:
+// validate cfg for vectorizability, build the core, and commit every agent
+// to one vector width through model.VectorAgent.
+func newVecCore(cfg Config, name string) (*core, []model.VectorAgent, int, []float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, 0, nil, err
+	}
+	if cfg.Kind == model.OutputPortAware {
+		return nil, nil, 0, nil, fmt.Errorf("%w: the output-port model sends one message per port, not one fixed-width vector", ErrNotVectorizable)
+	}
+	core, err := newCore(cfg, name)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	universe := universeOf(cfg.Inputs)
+	vecs := make([]model.VectorAgent, core.N())
+	width := 0
+	for i, a := range core.agents {
+		va, ok := a.(model.VectorAgent)
+		if !ok {
+			return nil, nil, 0, nil, fmt.Errorf("%w: agent %d (%T) does not implement model.VectorAgent", ErrNotVectorizable, i, a)
+		}
+		w := va.InitVector(universe)
+		if w <= 0 {
+			return nil, nil, 0, nil, fmt.Errorf("%w: agent %d (%T) declined vectorization", ErrNotVectorizable, i, a)
+		}
+		if i == 0 {
+			width = w
+		} else if w != width {
+			return nil, nil, 0, nil, fmt.Errorf("engine: agent %d reports vector width %d, agent 0 reported %d", i, w, width)
+		}
+		vecs[i] = va
+	}
+	return core, vecs, width, universe, nil
 }
 
 // CanVectorize reports whether cfg can run on the vectorized engine, by
@@ -159,15 +170,23 @@ func (v *Vectorized) Step() error { return v.step(v) }
 // restart applies the crash-restart channel, re-initializing rebuilt agents
 // through the vector contract so their width commitment stays intact.
 func (v *Vectorized) restart(t int) error {
-	inj := v.cfg.Faults
+	return restartVecAgents(v.core, t, v.vecs, v.universe, v.width)
+}
+
+// restartVecAgents is the crash-restart stage of the vector executors:
+// rebuilt agents re-enter through model.VectorAgent so their width
+// commitment stays intact. Shared by the vectorized and parallel
+// vectorized runners.
+func restartVecAgents(c *core, t int, vecs []model.VectorAgent, universe []float64, width int) error {
+	inj := c.cfg.Faults
 	if inj == nil {
 		return nil
 	}
-	for i := range v.agents {
+	for i := range c.agents {
 		if !inj.Restart(t, i) {
 			continue
 		}
-		a := v.cfg.Factory(v.cfg.Inputs[i])
+		a := c.cfg.Factory(c.cfg.Inputs[i])
 		if a == nil {
 			return fmt.Errorf("engine: factory returned nil agent restarting agent %d at round %d", i, t)
 		}
@@ -175,10 +194,10 @@ func (v *Vectorized) restart(t int) error {
 		if !ok {
 			return fmt.Errorf("engine: restarted agent %d (%T) does not implement model.VectorAgent", i, a)
 		}
-		if w := va.InitVector(v.universe); w != v.width {
-			return fmt.Errorf("engine: restarted agent %d reports vector width %d, want %d", i, w, v.width)
+		if w := va.InitVector(universe); w != width {
+			return fmt.Errorf("engine: restarted agent %d reports vector width %d, want %d", i, w, width)
 		}
-		v.agents[i], v.vecs[i] = a, va
+		c.agents[i], vecs[i] = a, va
 	}
 	return nil
 }
@@ -201,53 +220,11 @@ func (v *Vectorized) send(t int, snap *topology.Snapshot) error {
 // RNG, and sum the rows in the shuffled order so float rounding matches
 // the generic engines' Receive exactly.
 func (v *Vectorized) exchange(t int, snap *topology.Snapshot) error {
-	w, inj := v.width, v.cfg.Faults
+	w := v.width
+	view := snap.DstRange(0, v.N())
 	for j := range v.vecs {
-		refs := v.gather[:0]
 		v.late = v.late[:0]
-		switch {
-		case !v.active[j]:
-		case inj == nil:
-			for e := snap.Start[j]; e < snap.Start[j+1]; e++ {
-				if src := snap.Src[e]; v.active[src] {
-					refs = append(refs, src)
-				}
-			}
-		default:
-			for e := snap.Start[j]; e < snap.Start[j+1]; e++ {
-				src := snap.Src[e]
-				if !v.active[src] {
-					continue
-				}
-				if int(src) == j {
-					refs = append(refs, src)
-					continue
-				}
-				f := inj.MessageFate(t, int(src), j)
-				if f.Drop {
-					v.faults.Dropped++
-					continue
-				}
-				copies := 1
-				if f.Dup > 0 {
-					copies += f.Dup
-					v.faults.Duplicated += int64(f.Dup)
-				}
-				if f.Delay > 0 {
-					v.faults.Delayed += int64(copies)
-					for c := 0; c < copies; c++ {
-						v.vpend.add(j, t+f.Delay, v.rows[int(src)*w:(int(src)+1)*w])
-					}
-					continue
-				}
-				for c := 0; c < copies; c++ {
-					refs = append(refs, src)
-				}
-			}
-		}
-		if v.vpend != nil {
-			refs = v.vpend.flush(j, t, refs, &v.late, v.active[j])
-		}
+		refs := gatherDest(v.core, view, t, j, w, v.rows, v.vpend, v.gather[:0], &v.late, &v.faults)
 		count := len(refs)
 		sum := v.sums[j*w : (j+1)*w]
 		for c := range sum {
@@ -256,12 +233,68 @@ func (v *Vectorized) exchange(t int, snap *topology.Snapshot) error {
 		if v.active[j] {
 			v.messages += int64(count)
 			shuffleRefs(v.rng, refs)
-			v.accumulate(sum, refs, w)
+			accumulateRows(sum, refs, w, v.rows, v.late)
 		}
 		v.counts[j] = int32(count)
 		v.gather = refs[:0]
 	}
 	return nil
+}
+
+// gatherDest builds destination j's contribution list in the delivery-order
+// invariant — sources ascending, edge insertion order, then due delayed
+// rows — applying fault fates (self-loops exempt) with counts recorded in
+// fs. Entries ≥ 0 index a sent row; entries < 0 are ^k for row k of the
+// caller's late scratch (delayed rows come due, appended by vpend.flush).
+// Shared by the vectorized executor (one call per destination, late reset
+// each time) and the parallel vectorized workers (one late scratch per
+// worker for the whole round, so refs survive until the accumulate phase).
+func gatherDest(c *core, view topology.DstView, t, j, w int, rows []float64, vpend *vecPending, refs []int32, late *[]float64, fs *FaultStats) []int32 {
+	snap, inj := view.Snap, c.cfg.Faults
+	switch {
+	case !c.active[j]:
+	case inj == nil:
+		for e := snap.Start[j]; e < snap.Start[j+1]; e++ {
+			if src := snap.Src[e]; c.active[src] {
+				refs = append(refs, src)
+			}
+		}
+	default:
+		for e := snap.Start[j]; e < snap.Start[j+1]; e++ {
+			src := snap.Src[e]
+			if !c.active[src] {
+				continue
+			}
+			if int(src) == j {
+				refs = append(refs, src)
+				continue
+			}
+			f := inj.MessageFate(t, int(src), j)
+			if f.Drop {
+				fs.Dropped++
+				continue
+			}
+			copies := 1
+			if f.Dup > 0 {
+				copies += f.Dup
+				fs.Duplicated += int64(f.Dup)
+			}
+			if f.Delay > 0 {
+				fs.Delayed += int64(copies)
+				for c := 0; c < copies; c++ {
+					vpend.add(j, t+f.Delay, rows[int(src)*w:(int(src)+1)*w])
+				}
+				continue
+			}
+			for c := 0; c < copies; c++ {
+				refs = append(refs, src)
+			}
+		}
+	}
+	if vpend != nil {
+		refs = vpend.flush(j, t, refs, late, c.active[j])
+	}
+	return refs
 }
 
 // receive applies the vector transition functions over the accumulated
@@ -276,30 +309,31 @@ func (v *Vectorized) receive(t int, snap *topology.Snapshot) error {
 	return nil
 }
 
-// accumulate sums the referenced rows into sum, in slice order, one running
-// total per component — the same addition sequence as the generic engines'
-// message loop, so the rounding is identical. The width-1 and width-2 cases
-// keep the totals in registers; they are the hot shapes (Push-Sum averages
-// and Metropolis).
-func (v *Vectorized) accumulate(sum []float64, refs []int32, w int) {
+// accumulateRows sums the referenced rows into sum, in slice order, one
+// running total per component — the same addition sequence as the generic
+// engines' message loop, so the rounding is identical. The width-1 and
+// width-2 cases keep the totals in registers; they are the hot shapes
+// (Push-Sum averages and Metropolis). Shared by the vectorized and
+// parallel vectorized executors; sum must be zeroed by the caller.
+func accumulateRows(sum []float64, refs []int32, w int, rows, late []float64) {
 	switch w {
 	case 1:
 		s0 := 0.0
 		for _, r := range refs {
-			s0 += v.row(r, 1)[0]
+			s0 += rowOf(r, 1, rows, late)[0]
 		}
 		sum[0] = s0
 	case 2:
 		s0, s1 := 0.0, 0.0
 		for _, r := range refs {
-			row := v.row(r, 2)
+			row := rowOf(r, 2, rows, late)
 			s0 += row[0]
 			s1 += row[1]
 		}
 		sum[0], sum[1] = s0, s1
 	default:
 		for _, r := range refs {
-			row := v.row(r, w)
+			row := rowOf(r, w, rows, late)
 			for c := 0; c < w; c++ {
 				sum[c] += row[c]
 			}
@@ -307,14 +341,14 @@ func (v *Vectorized) accumulate(sum []float64, refs []int32, w int) {
 	}
 }
 
-// row resolves a gather reference: ≥ 0 indexes a sent row, < 0 is ^k into
-// the late scratch.
-func (v *Vectorized) row(r int32, w int) []float64 {
+// rowOf resolves a gather reference: ≥ 0 indexes a sent row, < 0 is ^k
+// into the late scratch.
+func rowOf(r int32, w int, rows, late []float64) []float64 {
 	if r >= 0 {
-		return v.rows[int(r)*w : (int(r)+1)*w]
+		return rows[int(r)*w : (int(r)+1)*w]
 	}
 	k := int(^r)
-	return v.late[k*w : (k+1)*w]
+	return late[k*w : (k+1)*w]
 }
 
 // shuffleRefs applies exactly rand.Shuffle's Fisher–Yates permutation to

@@ -21,6 +21,7 @@ import (
 
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
+	"anonnet/internal/engine"
 	"anonnet/internal/faults"
 	"anonnet/internal/funcs"
 	"anonnet/internal/graph"
@@ -77,9 +78,10 @@ type GraphSpec struct {
 // SpecSchemaVersion is the current job-spec schema version. Version 1 is
 // the original unversioned shape; version 2 adds the engine/shards
 // selectors; version 3 adds the faults block; version 4 adds the "vec"
-// engine (the vectorized kernel). Specs omitting schema_version are
-// version 1.
-const SpecSchemaVersion = 4
+// engine (the vectorized kernel); version 5 makes shards engine-agnostic
+// parallelism — legal with engine "vec" too, selecting the parallel
+// vectorized kernel. Specs omitting schema_version are version 1.
+const SpecSchemaVersion = 5
 
 // Spec is one simulation job. The zero value is invalid; Canonical
 // validates and normalizes.
@@ -129,8 +131,10 @@ type Spec struct {
 	// vectorizable). "seq" is normalized to "" so version-1 specs hash
 	// identically. Mutually exclusive with Concurrent.
 	Engine string `json:"engine,omitempty"`
-	// Shards is the sharded engine's shard count (engine=shard only);
-	// 0 means one shard per core.
+	// Shards is the engine's degree of parallelism: the shard count with
+	// engine=shard (0 means one per core), and — schema_version ≥ 5 — the
+	// worker count with engine=vec (0 means the single-threaded kernel,
+	// ≥ 1 the parallel kernel; the trace is identical either way).
 	Shards int `json:"shards,omitempty"`
 	// Starts optionally gives per-agent activation rounds ≥ 1
 	// (asynchronous starts).
@@ -350,24 +354,38 @@ func (s Spec) Canonical() (Spec, error) {
 	if s.Concurrent && strings.TrimSpace(s.Engine) != "" {
 		return Spec{}, errf("engine", "engine and concurrent are mutually exclusive; drop concurrent")
 	}
-	switch strings.ToLower(strings.TrimSpace(s.Engine)) {
-	case "", "seq", "sequential":
+	canon, known := engine.CanonicalName(s.Engine)
+	if !known {
+		return Spec{}, errf("engine", "unknown engine %q (want %s)", s.Engine, engine.NamesList())
+	}
+	switch canon {
+	case "seq":
 		c.Engine = ""
-	case "conc", "concurrent":
+	case "conc":
 		c.Engine = ""
 		c.Concurrent = true
-	case "shard", "sharded":
+	case "shard":
 		c.Engine = "shard"
-	case "vec", "vectorized":
+	case "vec":
 		if s.SchemaVersion >= 1 && s.SchemaVersion <= 3 {
 			return Spec{}, errf("engine", "engine=vec needs schema_version ≥ 4")
 		}
 		c.Engine = "vec"
-	default:
-		return Spec{}, errf("engine", "unknown engine %q (want seq, conc, shard, or vec)", s.Engine)
 	}
-	if s.Shards != 0 && c.Engine != "shard" {
-		return Spec{}, errf("shards", "shards is only meaningful with engine=shard")
+	// Shards is parallelism: shard count for the sharded engine, worker
+	// count for the parallel vectorized kernel (schema_version ≥ 5; a
+	// version-4 spec carrying vec+shards stays rejected, so old hashes
+	// never collide with the new shape).
+	if s.Shards != 0 {
+		switch c.Engine {
+		case "shard":
+		case "vec":
+			if s.SchemaVersion >= 1 && s.SchemaVersion <= 4 {
+				return Spec{}, errf("shards", "shards with engine=vec needs schema_version ≥ 5")
+			}
+		default:
+			return Spec{}, errf("shards", "shards is only meaningful with engine=shard or engine=vec")
+		}
 	}
 	if s.Shards < 0 || s.Shards > MaxAgents {
 		return Spec{}, errf("shards", "shards %d out of range [0, %d]", s.Shards, MaxAgents)

@@ -146,7 +146,7 @@ func TestVecEngineHash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []int{3, 4} {
+	for _, v := range []int{3, 4, 5} {
 		s := base
 		s.SchemaVersion = v
 		h, err := s.Hash()
@@ -237,6 +237,69 @@ func TestRunVecEngine(t *testing.T) {
 	}
 }
 
+// TestVecShardsV5 pins version 5's side of the contract: shards becomes
+// legal with engine=vec (selecting the parallel vectorized kernel), the
+// combination hashes distinctly from plain vec, an explicit version-5
+// declaration hashes like the unversioned spelling, and the parallel run
+// reproduces the sequential trace exactly.
+func TestVecShardsV5(t *testing.T) {
+	base := Spec{Graph: GraphSpec{Builder: "splitring", N: 8}, Kind: "od", Function: "average",
+		Values: []float64{3, 1, 4, 1, 5, 9, 2, 6}, Seed: 7, MaxRounds: 3000}
+	par := base
+	par.Engine = "vec"
+	par.Shards = 3
+	hp, err := par.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := base
+	plain.Engine = "vec"
+	hv, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp == hv {
+		t.Fatal("vec+shards must hash distinctly from plain vec")
+	}
+	declared := par
+	declared.SchemaVersion = 5
+	hd, err := declared.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd != hp {
+		t.Fatalf("declared v5 hashes %q, unversioned vec+shards hashes %q", hd, hp)
+	}
+	pc, err := Compile(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Spec.Engine != "vec" || pc.Spec.Shards != 3 {
+		t.Fatalf("canonical engine fields: %+v", pc.Spec)
+	}
+	sc, err := Compile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := Run(context.Background(), pc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Run(context.Background(), sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Rounds != sres.Rounds || pres.StabilizedAt != sres.StabilizedAt ||
+		pres.Messages != sres.Messages {
+		t.Fatalf("parallel vec %+v diverges from sequential %+v", pres, sres)
+	}
+	for i := range pres.Outputs {
+		if pres.Outputs[i] != sres.Outputs[i] {
+			t.Fatalf("output %d: parallel vec %v, sequential %v", i, pres.Outputs[i], sres.Outputs[i])
+		}
+	}
+}
+
 func TestCompileShardedEngine(t *testing.T) {
 	s := ringAverageSpec()
 	s.Engine = "shard"
@@ -299,7 +362,7 @@ func TestValidationErrors(t *testing.T) {
 		{"stray shards", Spec{Shards: 2, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
 		{"shards out of range", Spec{Engine: "shard", Shards: MaxAgents + 1, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
 		{"vec before v4", Spec{SchemaVersion: 3, Engine: "vec", Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "engine"},
-		{"vec with shards", Spec{Engine: "vec", Shards: 2, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
+		{"vec with shards before v5", Spec{SchemaVersion: 4, Engine: "vec", Shards: 2, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

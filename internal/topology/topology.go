@@ -69,6 +69,51 @@ func (s *Snapshot) OutDegree(i int) int { return int(s.Outdeg[i]) }
 // InDegree returns the number of entries delivered into agent j.
 func (s *Snapshot) InDegree(j int) int { return int(s.Start[j+1] - s.Start[j]) }
 
+// DstView is a shard's view of a Snapshot: the destination range [Lo, Hi)
+// together with the snapshot it indexes into. Parallel executors hand each
+// worker one view; because Snapshot is immutable and the ranges are
+// disjoint, workers read their views concurrently without synchronization.
+// The view carries no copies — Edges returns offsets into the snapshot's
+// flat arrays, so slicing per destination costs nothing.
+type DstView struct {
+	// Snap is the underlying snapshot; its flat arrays are shared by all
+	// views of a round.
+	Snap *Snapshot
+	// Lo and Hi delimit the half-open destination range this view owns.
+	Lo, Hi int
+}
+
+// DstRange returns the view of destinations [lo, hi). It panics on an
+// invalid range — shard arithmetic producing one is a programming error,
+// not an input error.
+func (s *Snapshot) DstRange(lo, hi int) DstView {
+	if lo < 0 || hi < lo || hi > s.n {
+		panic(fmt.Sprintf("topology: destination range [%d, %d) outside 0..%d", lo, hi, s.n))
+	}
+	return DstView{Snap: s, Lo: lo, Hi: hi}
+}
+
+// N returns the number of destinations in the view.
+func (v DstView) N() int { return v.Hi - v.Lo }
+
+// M returns the number of CSR entries delivered into the view's
+// destinations: the per-shard share of the round's edges.
+func (v DstView) M() int {
+	if v.Hi == v.Lo {
+		return 0
+	}
+	return int(v.Snap.Start[v.Hi] - v.Snap.Start[v.Lo])
+}
+
+// Edges returns the half-open entry range of destination j in the
+// snapshot's Src/Slot/Port arrays. j must lie in [Lo, Hi).
+func (v DstView) Edges(j int) (lo, hi int32) {
+	if j < v.Lo || j >= v.Hi {
+		panic(fmt.Sprintf("topology: destination %d outside view [%d, %d)", j, v.Lo, v.Hi))
+	}
+	return v.Snap.Start[j], v.Snap.Start[j+1]
+}
+
 // grow returns b resized to length n, reusing its backing array when the
 // capacity allows.
 func grow(b []int32, n int) []int32 {
