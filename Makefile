@@ -1,7 +1,7 @@
 # Tier-1 verification and the race-checked service suite.
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz crash-recovery bench benchreport run-daemon clean
+.PHONY: all build vet lint test race fuzz crash-recovery chaos bench benchreport run-daemon clean
 
 all: build vet test
 
@@ -31,12 +31,21 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzSpecCodec -fuzztime=30s ./internal/job
 	$(GO) test -fuzz=FuzzStoreRecord -fuzztime=30s ./internal/store
+	$(GO) test -fuzz=FuzzNonFinalSegmentDamage -fuzztime=30s ./internal/store
 
 # The durability gate: checkpoint/resume trace equality on all four
 # engines (± faults) plus the kill/restart service recovery drill.
 crash-recovery:
 	$(GO) test -race -count=1 -run 'Checkpoint' ./internal/engine ./internal/job
 	$(GO) test -race -count=1 ./internal/store ./internal/service
+
+# The chaos gate: 25 seeded kill/restart/corrupt iterations against the
+# real store+service, plus the corruption-quarantine and breaker suites
+# under the race detector. Fully reproducible from the seed.
+chaos:
+	$(GO) run ./cmd/chaosdrill -iterations 25 -seed 1
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -count=1 -run 'Quarantine|GarbageLength|Breaker|Intercept' ./internal/store ./internal/service
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

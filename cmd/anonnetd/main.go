@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"anonnet/internal/chaos"
 	"anonnet/internal/metrics"
 	"anonnet/internal/quota"
 	"anonnet/internal/service"
@@ -63,34 +64,69 @@ func run() error {
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (off by default)")
 
 		dataDir     = flag.String("data-dir", "", "durable store directory (empty: ephemeral, no persistence)")
+		syncEvery   = flag.Bool("sync", false, "fsync the job log after every append (with -data-dir)")
 		ckptEvery   = flag.Int("ckpt-every", 50, "checkpoint running jobs every k rounds (with -data-dir)")
 		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant submit rate limit in requests/second (0: disabled)")
 		tenantBurst = flag.Int("tenant-burst", 10, "per-tenant submit burst ceiling (with -tenant-rps)")
+
+		breakerK    = flag.Int("breaker-threshold", 0, "consecutive persist failures before degraded mode (0: default 5, <0: disabled)")
+		breakerCool = flag.Duration("breaker-cooldown", 0, "degraded-mode dwell before a half-open store probe (0: default 3s)")
+		chaosPlan   = flag.String("chaos", "", "chaos failpoint plan as JSON (testing only; see internal/chaos)")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the -chaos failpoint decisions")
 	)
 	flag.Parse()
 
+	var plan chaos.Plan
+	if *chaosPlan != "" {
+		p, err := chaos.ParsePlan([]byte(*chaosPlan))
+		if err != nil {
+			return fmt.Errorf("parsing -chaos: %w", err)
+		}
+		plan = *p
+		log.Printf("anonnetd: CHAOS PLAN ACTIVE (seed %d): %s", *chaosSeed, *chaosPlan)
+	}
+
 	var st *store.Store
 	if *dataDir != "" {
+		var fs store.FS
+		if !plan.IsZero() {
+			cfs, err := chaos.NewFS(*chaosSeed, plan, nil)
+			if err != nil {
+				return fmt.Errorf("building chaos fs: %w", err)
+			}
+			fs = cfs
+		}
 		var err error
-		st, err = store.Open(*dataDir, store.Options{})
+		st, err = store.Open(*dataDir, store.Options{FS: fs, Sync: *syncEvery})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
+	}
+	var intercept func(context.Context, string, int) error
+	if !plan.IsZero() {
+		var err error
+		intercept, err = chaos.Intercept(*chaosSeed, plan, service.ErrTransient)
+		if err != nil {
+			return fmt.Errorf("building chaos intercept: %w", err)
+		}
 	}
 	jobLatency := metrics.NewHistogram("anonnetd_job_duration_seconds",
 		"Wall-clock seconds from job start to terminal state.", nil)
 	lim := quota.New(*tenantRPS, *tenantBurst)
 
 	svc := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheSize:       *cache,
-		JobTimeout:      *timeout,
-		ProgressEvery:   *every,
-		Store:           st,
-		CheckpointEvery: *ckptEvery,
-		JobLatency:      jobLatency,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		JobTimeout:       *timeout,
+		ProgressEvery:    *every,
+		Store:            st,
+		CheckpointEvery:  *ckptEvery,
+		JobLatency:       jobLatency,
+		BreakerThreshold: *breakerK,
+		BreakerCooldown:  *breakerCool,
+		Intercept:        intercept,
 	})
 	if st != nil {
 		n, err := svc.Recover()

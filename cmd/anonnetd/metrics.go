@@ -42,6 +42,14 @@ func newMetricsRegistry(svc *service.Service, st *store.Store, lim *quota.Limite
 		func(s service.Stats) int64 { return s.Interrupted })
 	counter("anonnetd_store_errors_total", "Durable-store append failures.",
 		func(s service.Stats) int64 { return s.StoreErrors })
+	counter("anonnetd_sync_failures_total", "Appends that landed but whose fsync failed (durability in doubt).",
+		func(s service.Stats) int64 { return s.SyncFailures })
+	counter("anonnetd_breaker_trips_total", "Times the store circuit breaker opened into degraded mode.",
+		func(s service.Stats) int64 { return s.BreakerTrips })
+	counter("anonnetd_degraded_dropped_total", "Persists skipped while the breaker was open.",
+		func(s service.Stats) int64 { return s.DegradedDropped })
+	counter("anonnetd_backfilled_total", "Jobs re-appended to the log after the breaker closed.",
+		func(s service.Stats) int64 { return s.Backfilled })
 	gauge("anonnetd_jobs_running", "Jobs executing right now.",
 		func(s service.Stats) float64 { return float64(s.Running) })
 	gauge("anonnetd_jobs_queued", "Jobs waiting in the bounded queue.",
@@ -50,6 +58,13 @@ func newMetricsRegistry(svc *service.Service, st *store.Store, lim *quota.Limite
 		func(s service.Stats) float64 { return float64(s.Workers) })
 	gauge("anonnetd_cache_entries", "Result-cache entries resident in memory.",
 		func(s service.Stats) float64 { return float64(s.CacheEntries) })
+	gauge("anonnetd_degraded", "1 while the store breaker is open (in-memory degraded mode), else 0.",
+		func(s service.Stats) float64 {
+			if s.Degraded {
+				return 1
+			}
+			return 0
+		})
 
 	if st != nil {
 		sgauge := func(name, help string, read func(store.Stats) float64) {
@@ -67,6 +82,15 @@ func newMetricsRegistry(svc *service.Service, st *store.Store, lim *quota.Limite
 			func(s store.Stats) float64 { return float64(s.Pending) })
 		sgauge("anonnetd_store_checkpoints", "Engine checkpoint blobs on disk.",
 			func(s store.Stats) float64 { return float64(s.Checkpoints) })
+		sgauge("anonnetd_store_quarantined_segments", "Damaged segments sealed aside at replay.",
+			func(s store.Stats) float64 { return float64(s.QuarantinedSegments) })
+		scounter := func(name, help string, read func(store.Stats) int64) {
+			reg.Counter(name, help, func() float64 { return float64(read(st.Stats())) })
+		}
+		scounter("anonnetd_store_append_errors_total", "Append write errors seen by the store itself.",
+			func(s store.Stats) int64 { return s.AppendErrors })
+		scounter("anonnetd_store_sync_failures_total", "Fsync failures seen by the store itself.",
+			func(s store.Stats) int64 { return s.SyncFailures })
 	}
 	if lim != nil {
 		reg.Gauge("anonnetd_quota_tenants", "Tenants with live token buckets.",

@@ -7,8 +7,11 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 
 	"anonnet/internal/job"
@@ -23,9 +26,33 @@ const maxSpecBytes = 1 << 20
 
 // server wraps a service.Service in the HTTP/JSON API.
 type server struct {
-	svc   *service.Service
-	quota *quota.Limiter // nil: quotas disabled
-	start time.Time
+	svc    *service.Service
+	quota  *quota.Limiter // nil: quotas disabled
+	jitter jitterFunc
+	start  time.Time
+}
+
+// jitterFunc perturbs a Retry-After estimate so a synchronized client
+// fleet spreads its retries instead of stampeding back in lockstep.
+type jitterFunc func(secs int) int
+
+// newJitter builds the ±20% Retry-After jitter on src: each call draws
+// once and scales the estimate by a uniform factor in [0.8, 1.2), never
+// below one second. Injecting a fixed-seed source makes the jitter
+// deterministic for tests; production uses a time-seeded one.
+func newJitter(src rand.Source) jitterFunc {
+	var mu sync.Mutex
+	rng := rand.New(src)
+	return func(secs int) int {
+		mu.Lock()
+		u := rng.Float64()
+		mu.Unlock()
+		j := int(math.Round(float64(secs) * (0.8 + 0.4*u)))
+		if j < 1 {
+			j = 1
+		}
+		return j
+	}
 }
 
 // muxOptions selects the optional API surfaces.
@@ -37,6 +64,9 @@ type muxOptions struct {
 	metrics *metrics.Registry
 	// quota, when non-nil, rate-limits the submit paths per X-Tenant.
 	quota *quota.Limiter
+	// jitter perturbs Retry-After values on 503 responses (nil: a
+	// time-seeded ±20% jitter; tests inject a fixed-seed one).
+	jitter jitterFunc
 }
 
 // newMux routes the API (version 1, under /v1/):
@@ -66,7 +96,11 @@ type muxOptions struct {
 // submit paths behind per-tenant token buckets (the X-Tenant header; see
 // handleSubmit).
 func newMux(svc *service.Service, opt muxOptions) *http.ServeMux {
-	s := &server{svc: svc, quota: opt.quota, start: time.Now()}
+	jit := opt.jitter
+	if jit == nil {
+		jit = newJitter(rand.NewSource(time.Now().UnixNano()))
+	}
+	s := &server{svc: svc, quota: opt.quota, jitter: jit, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -190,7 +224,7 @@ func (s *server) shed(w http.ResponseWriter) bool {
 	if rd.Ready {
 		return false
 	}
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(rd)))
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.jitter(retryAfterSeconds(rd))))
 	writeProblem(w, http.StatusServiceUnavailable, "not_ready",
 		fmt.Sprintf("service cannot accept work: %s", rd.Reason), "")
 	return true
@@ -210,7 +244,7 @@ func (s *server) throttle(w http.ResponseWriter, r *http.Request) bool {
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.jitter(secs)))
 	writeProblem(w, http.StatusServiceUnavailable, "quota_exceeded",
 		"tenant submit quota exhausted; retry later", "")
 	return true
@@ -414,7 +448,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 	rd := s.svc.Readiness()
 	if !rd.Ready {
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(rd)))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.jitter(retryAfterSeconds(rd))))
 		writeJSON(w, http.StatusServiceUnavailable, rd)
 		return
 	}

@@ -89,6 +89,22 @@ type Config struct {
 	// JobLatency, when non-nil, observes each finished job's wall-clock
 	// seconds (the /metrics latency histogram).
 	JobLatency *metrics.Histogram
+	// BreakerThreshold trips the store circuit breaker after this many
+	// consecutive failed persists (default 5; negative disables the
+	// breaker). While tripped the service runs degraded: jobs still
+	// execute and results serve from memory, but log appends are dropped
+	// and their jobs marked dirty for a backfill flush once a half-open
+	// probe succeeds.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker waits before letting
+	// one append through as a half-open probe (default 3s).
+	BreakerCooldown time.Duration
+	// Intercept, when non-nil, runs before every job attempt (including
+	// retries) with the job ID and zero-based attempt number. A returned
+	// error fails the attempt — wrapping ErrTransient makes it retryable —
+	// and a panic is recovered like a runner panic. Injection point for
+	// the chaos layer's worker failpoints.
+	Intercept func(ctx context.Context, jobID string, attempt int) error
 
 	// runnerInjected records whether Runner came from the caller: the
 	// checkpointed execution path only replaces the built-in job.Run,
@@ -127,6 +143,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // disabled
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 3 * time.Second
 	}
 	return c
 }
@@ -218,12 +243,22 @@ type Stats struct {
 	Recovered   int64 `json:"recovered"`
 	Interrupted int64 `json:"interrupted"`
 	// StoreErrors counts durable-store append failures (the service keeps
-	// serving from memory when the disk misbehaves).
+	// serving from memory when the disk misbehaves); SyncFailures is the
+	// subset that lost only durability, not data (store.ErrSyncFailed).
 	StoreErrors  int64 `json:"store_errors"`
-	Queued       int   `json:"queued"`
-	Running      int   `json:"running"`
-	CacheEntries int   `json:"cache_entries"`
-	Workers      int   `json:"workers"`
+	SyncFailures int64 `json:"sync_failures"`
+	// BreakerTrips counts closed→open transitions of the store circuit
+	// breaker; DegradedDropped counts appends dropped while it was open;
+	// Backfilled counts dirty jobs re-persisted after recovery; Degraded
+	// reports whether the breaker is open right now.
+	BreakerTrips    int64 `json:"breaker_trips"`
+	DegradedDropped int64 `json:"degraded_dropped"`
+	Backfilled      int64 `json:"backfilled"`
+	Degraded        bool  `json:"degraded"`
+	Queued          int   `json:"queued"`
+	Running         int   `json:"running"`
+	CacheEntries    int   `json:"cache_entries"`
+	Workers         int   `json:"workers"`
 }
 
 // Service is the concurrent simulation service.
@@ -240,6 +275,16 @@ type Service struct {
 	nextID    int64
 	nextBatch int64
 
+	// Store circuit breaker (mu-guarded: persist always runs under mu).
+	// After BreakerThreshold consecutive failed persists the breaker opens
+	// and the service degrades to in-memory operation; after the cooldown
+	// one append goes through as a half-open probe, and on probe success
+	// the dirty set is backfilled into the log.
+	consecFails     int
+	breakerOpen     bool
+	breakerOpenedAt time.Time
+	dirty           map[string]bool // job IDs with un-persisted transitions
+
 	queue chan *entry
 	wg    sync.WaitGroup
 
@@ -255,6 +300,10 @@ type Service struct {
 	recovered    atomic.Int64
 	interrupted  atomic.Int64
 	storeErrs    atomic.Int64
+	syncFails    atomic.Int64
+	breakerTrips atomic.Int64
+	degradedDrop atomic.Int64
+	backfilled   atomic.Int64
 	workersAlive atomic.Int64
 }
 
@@ -298,6 +347,7 @@ func New(cfg Config) *Service {
 		batches: make(map[string][]string),
 		cache:   newLRU(cfg.CacheSize),
 		queue:   make(chan *entry, cfg.QueueDepth),
+		dirty:   make(map[string]bool),
 	}
 	if cfg.Store != nil {
 		// Continue the persisted ID sequence so recovered and new jobs
@@ -402,14 +452,114 @@ func (s *Service) resultForHash(hash string) (*job.Result, bool) {
 
 // persist appends one record to the durable store. Append failures (disk
 // full, store closed during shutdown races) are counted, not fatal: the
-// service keeps serving from memory.
+// service keeps serving from memory. Failures also feed the circuit
+// breaker — once it opens, appends are dropped outright (the job is
+// remembered as dirty) until a half-open probe lands, at which point the
+// dirty set is backfilled. Callers hold s.mu, which is what makes the
+// breaker fields plain fields.
 func (s *Service) persist(rec store.Record) {
 	if s.cfg.Store == nil {
 		return
 	}
 	rec.Unix = time.Now().UnixNano()
+	if s.degradedLocked() {
+		s.degradedDrop.Add(1)
+		s.dirty[rec.JobID] = true
+		return
+	}
 	if err := s.cfg.Store.Append(rec); err != nil {
-		s.storeErrs.Add(1)
+		if lost := s.noteStoreFailureLocked(err); lost {
+			s.dirty[rec.JobID] = true
+		}
+		return
+	}
+	s.noteStoreSuccessLocked()
+}
+
+// degradedLocked reports whether the breaker is open and still inside its
+// cooldown — the window in which persists are dropped rather than
+// attempted. Once the cooldown elapses the next persist goes through as
+// the half-open probe. Callers hold s.mu.
+func (s *Service) degradedLocked() bool {
+	return s.breakerOpen && time.Since(s.breakerOpenedAt) < s.cfg.BreakerCooldown
+}
+
+// noteStoreSuccessLocked records a successful append: the failure streak
+// resets, a half-open probe closes the breaker, and any dirty backlog —
+// from a degraded stretch or from sporadic failures that never tripped —
+// is flushed. Callers hold s.mu.
+func (s *Service) noteStoreSuccessLocked() {
+	s.consecFails = 0
+	s.breakerOpen = false
+	if len(s.dirty) > 0 {
+		s.backfillLocked()
+	}
+}
+
+// noteStoreFailureLocked counts one failed store operation and advances
+// the breaker state machine. The return value reports whether record data
+// was actually lost: a store.ErrSyncFailed append reached the file and
+// will replay after a crash (lost durability only), so its job does not
+// need a backfill. Callers hold s.mu.
+func (s *Service) noteStoreFailureLocked(err error) (lost bool) {
+	s.storeErrs.Add(1)
+	lost = true
+	if errors.Is(err, store.ErrSyncFailed) {
+		s.syncFails.Add(1)
+		lost = false
+	}
+	s.consecFails++
+	switch {
+	case s.breakerOpen:
+		// Failed half-open probe: stay open and restart the cooldown.
+		s.breakerOpenedAt = time.Now()
+	case s.cfg.BreakerThreshold > 0 && s.consecFails >= s.cfg.BreakerThreshold:
+		s.breakerOpen = true
+		s.breakerOpenedAt = time.Now()
+		s.breakerTrips.Add(1)
+	}
+	return lost
+}
+
+// backfillLocked re-persists the current state of every dirty job after
+// the breaker closes: one append per job carrying its spec, latest state,
+// and (when terminal) result or error, so a log that went dark mid-flight
+// still converges to the truth the memory view holds. A failure mid-flush
+// re-opens the breaker and leaves the remainder dirty for the next probe.
+// Callers hold s.mu.
+func (s *Service) backfillLocked() {
+	for id := range s.dirty {
+		e, ok := s.jobs[id]
+		if !ok {
+			delete(s.dirty, id)
+			continue
+		}
+		rec := store.Record{JobID: e.id, Hash: e.hash, State: string(e.state),
+			Error: e.err, Unix: time.Now().UnixNano()}
+		if spec, err := json.Marshal(e.compiled.Spec); err == nil {
+			rec.Spec = spec
+		}
+		if e.state == StateDone && e.result != nil {
+			if raw, err := json.Marshal(e.result); err == nil {
+				rec.Result = raw
+			}
+		}
+		if err := s.cfg.Store.Append(rec); err != nil {
+			if lost := s.noteStoreFailureLocked(err); lost {
+				// The disk proved unhealthy again mid-recovery: re-open
+				// immediately rather than rebuilding a failure streak while
+				// more records go missing. id stays dirty for the next probe.
+				if !s.breakerOpen {
+					s.breakerOpen = true
+					s.breakerOpenedAt = time.Now()
+					s.breakerTrips.Add(1)
+				}
+				return
+			}
+			// Sync-only failure: the record is in the log, keep flushing.
+		}
+		delete(s.dirty, id)
+		s.backfilled.Add(1)
 	}
 }
 
@@ -680,8 +830,14 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	cacheLen := s.cache.len()
 	queued := len(s.queue)
+	degraded := s.breakerOpen
 	s.mu.Unlock()
 	return Stats{
+		SyncFailures:    s.syncFails.Load(),
+		BreakerTrips:    s.breakerTrips.Load(),
+		DegradedDropped: s.degradedDrop.Load(),
+		Backfilled:      s.backfilled.Load(),
+		Degraded:        degraded,
 		Submitted:       s.submitted.Load(),
 		Completed:       s.completed.Load(),
 		Failed:          s.failed.Load(),
@@ -708,6 +864,12 @@ type Readiness struct {
 	// Reason explains a not-ready verdict ("closed", "no live workers",
 	// "queue full").
 	Reason string `json:"reason,omitempty"`
+	// Degraded reports an open store circuit breaker: the service still
+	// accepts and runs jobs (Ready stays true), but durability is
+	// suspended — results serve from memory and log appends wait for the
+	// breaker to close and backfill. Operators alert on it; load balancers
+	// need not drain on it.
+	Degraded bool `json:"degraded,omitempty"`
 	// Queued and QueueDepth report queue saturation; clients seeing
 	// Queued near QueueDepth should back off before Submit fails.
 	Queued     int `json:"queued"`
@@ -723,8 +885,10 @@ func (s *Service) Readiness() Readiness {
 	s.mu.Lock()
 	closed := s.closed
 	queued := len(s.queue)
+	degraded := s.breakerOpen
 	s.mu.Unlock()
 	r := Readiness{
+		Degraded:   degraded,
 		Queued:     queued,
 		QueueDepth: s.cfg.QueueDepth,
 		Running:    int(s.running.Load()),
@@ -918,7 +1082,7 @@ func (s *Service) runOne(e *entry) {
 // ErrTransient. A retried job replays its progress stream from round 1.
 func (s *Service) execute(ctx context.Context, e *entry, obs engine.Observer) (*job.Result, error) {
 	for attempt := 0; ; attempt++ {
-		res, err := s.safeRun(ctx, e, obs)
+		res, err := s.safeRun(ctx, e, attempt, obs)
 		if err == nil || !errors.Is(err, ErrTransient) || attempt >= s.cfg.MaxRetries {
 			return res, err
 		}
@@ -940,7 +1104,7 @@ func (s *Service) execute(ctx context.Context, e *entry, obs engine.Observer) (*
 // value and stack. The worker goroutine survives; the service keeps
 // serving. (The sequential engine deliberately propagates agent panics;
 // this is where they stop.)
-func (s *Service) safeRun(ctx context.Context, e *entry, obs engine.Observer) (res *job.Result, err error) {
+func (s *Service) safeRun(ctx context.Context, e *entry, attempt int, obs engine.Observer) (res *job.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -949,6 +1113,11 @@ func (s *Service) safeRun(ctx context.Context, e *entry, obs engine.Observer) (r
 			err = fmt.Errorf("service: job %s panicked: %v\n%s", e.id, r, debug.Stack())
 		}
 	}()
+	if s.cfg.Intercept != nil {
+		if err := s.cfg.Intercept(ctx, e.id, attempt); err != nil {
+			return nil, err
+		}
+	}
 	if s.durable() {
 		return job.RunCheckpointed(ctx, e.compiled, obs, s.checkpointConfig(e))
 	}
@@ -965,10 +1134,26 @@ func (s *Service) checkpointConfig(e *entry) job.CheckpointConfig {
 		Every: s.cfg.CheckpointEvery,
 		Flush: e.flush,
 		Save: func(round int, blob []byte) error {
+			// A checkpoint is an optimization, not a correctness need: a
+			// failed or skipped save must never fail the job (the run just
+			// resumes from an older round after a crash). Failures feed the
+			// breaker like any other store error; while degraded, saves are
+			// skipped outright.
+			s.mu.Lock()
+			degraded := s.degradedLocked()
+			s.mu.Unlock()
+			if degraded {
+				s.degradedDrop.Add(1)
+				return nil
+			}
 			if err := s.cfg.Store.SaveCheckpoint(e.hash, round, blob); err != nil {
-				return err
+				s.mu.Lock()
+				s.noteStoreFailureLocked(err)
+				s.mu.Unlock()
+				return nil
 			}
 			s.mu.Lock()
+			s.noteStoreSuccessLocked()
 			e.ckptRound = round
 			s.mu.Unlock()
 			return nil

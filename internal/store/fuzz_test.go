@@ -1,7 +1,9 @@
 package store
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,6 +13,52 @@ import (
 // must survive an append → reopen round trip intact, and the fuzzed raw
 // tail appended after it must never panic the replayer — it either parses
 // or is truncated as a torn tail.
+// FuzzNonFinalSegmentDamage aims the fuzzer at the quarantine path: the
+// suffix of a middle segment is replaced by fuzzed bytes at a fuzzed
+// offset. Open must never panic or refuse to boot — clean frames replay,
+// anything unverifiable is sealed into a .quarantine file — and jobs
+// recorded in segments after the victim always survive.
+func FuzzNonFinalSegmentDamage(f *testing.F) {
+	// A torn tail mid-log: a length prefix promising more bytes than exist.
+	f.Add(uint16(40), []byte{0, 0, 0, 40, 9, 9, 9, 9})
+	// A CRC-valid payload behind a garbage length prefix (way past the
+	// record ceiling) — the checksum is honest, the length lies.
+	payload := []byte(`{"job_id":"jfuzz","state":"queued"}`)
+	hdr := make([]byte, frameHeader)
+	binary.BigEndian.PutUint32(hdr[:4], 0xffffffff)
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	f.Add(uint16(0), append(hdr, payload...))
+	// A plausible length over a corrupt checksum.
+	bad := make([]byte, frameHeader)
+	binary.BigEndian.PutUint32(bad[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(bad[4:], 0xdeadbeef)
+	f.Add(uint16(12), append(bad, payload...))
+	f.Fuzz(func(t *testing.T, off uint16, blob []byte) {
+		const records = 12
+		dir := t.TempDir()
+		segs := fillSegments(t, dir, records)
+		victim := segs[1]
+		data, err := os.ReadFile(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := int(off) % (len(data) + 1)
+		if err := os.WriteFile(victim, append(data[:pos:pos], blob...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen with damaged mid segment: %v", err)
+		}
+		defer s.Close()
+		// The final record lives past the victim segment; quarantine must
+		// never take later segments down with it.
+		if _, ok := s.Job(jobID(records - 1)); !ok {
+			t.Fatalf("job %s from a later segment lost to quarantine", jobID(records-1))
+		}
+	})
+}
+
 func FuzzStoreRecord(f *testing.F) {
 	f.Add("j000001", "deadbeef", StateQueued, `{"n":7}`, "", []byte{})
 	f.Add("j000042", "cafe", StateDone, `{"kind":"avg"}`, "", []byte{0, 0, 0, 4, 1, 2, 3, 4})

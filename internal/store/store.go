@@ -3,7 +3,9 @@
 // checkpoint blobs. The log survives crashes — records are
 // length-prefixed JSON frames with a per-record CRC32, segments rotate at
 // a size ceiling, and replay truncates a torn tail (a crash mid-append)
-// while rejecting corruption anywhere else. Checkpoints are written
+// while sealing a segment corrupted anywhere else to a .quarantine
+// forensic copy, preserving its valid prefix and replaying the segments
+// after it (Options.StrictReplay restores fail-stop). Checkpoints are written
 // atomically (tmp + rename) under deterministic names derived from the
 // canonical spec hash and the round, so a restarted daemon can find the
 // latest checkpoint of any interrupted job without an index.
@@ -39,15 +41,23 @@ var (
 	// store did not write — a safety interlock against pointing -data-dir
 	// at a directory that belongs to something else.
 	ErrDirtyDir = errors.New("store: data dir contains foreign files")
-	// ErrCorrupt is returned by Open when a non-final segment fails
-	// framing or checksum validation. A torn tail in the final segment is
-	// expected crash damage and is truncated instead.
+	// ErrCorrupt is returned by Open under Options.StrictReplay when a
+	// non-final segment fails framing or checksum validation. The default
+	// replay quarantines the damaged segment instead; a torn tail in the
+	// final segment is expected crash damage and is truncated either way.
 	ErrCorrupt = errors.New("store: corrupt segment")
 	// ErrClosed is returned by mutating calls after Close.
 	ErrClosed = errors.New("store: closed")
 	// ErrNoCheckpoint is returned by LatestCheckpoint when no blob exists
 	// for the spec hash.
 	ErrNoCheckpoint = errors.New("store: no checkpoint")
+	// ErrSyncFailed marks an append whose bytes reached the file but whose
+	// fsync failed: the record will replay after a process crash, yet
+	// durability against power loss is not guaranteed. Callers (the
+	// service's circuit breaker) use it to tell lost-durability from
+	// lost-data — an append failing with any other error wrote nothing
+	// usable.
+	ErrSyncFailed = errors.New("store: fsync failed")
 )
 
 // Record is one append-only log entry: a job state transition. The first
@@ -110,11 +120,23 @@ type Options struct {
 	// the cost of append latency; the framing already survives process
 	// crashes without it.
 	Sync bool
+	// StrictReplay restores the pre-quarantine contract: a bad frame in a
+	// non-final segment fails Open with ErrCorrupt instead of sealing the
+	// damaged segment to .quarantine and replaying the rest. For
+	// operators who prefer refusing to boot over booting with a sealed
+	// segment.
+	StrictReplay bool
+	// FS is the filesystem the store runs on (default: the real one).
+	// Injection point for the chaos layer's deterministic fault wrapper.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxSegmentBytes <= 0 {
 		o.MaxSegmentBytes = 1 << 20
+	}
+	if o.FS == nil {
+		o.FS = OS()
 	}
 	return o
 }
@@ -129,6 +151,14 @@ type Stats struct {
 	Checkpoints   int64 `json:"checkpoints"`
 	Appends       int64 `json:"appends"`
 	TailTruncated bool  `json:"tail_truncated"`
+	// QuarantinedSegments counts .quarantine seals present in the log dir
+	// (pre-existing plus any produced by this open's replay).
+	QuarantinedSegments int `json:"quarantined_segments"`
+	// AppendErrors counts appends that failed before the frame was fully
+	// written (lost data); SyncFailures counts appends whose bytes landed
+	// but whose fsync failed (lost durability only).
+	AppendErrors int64 `json:"append_errors"`
+	SyncFailures int64 `json:"sync_failures"`
 }
 
 // Store is the durable job store. All methods are safe for concurrent
@@ -136,22 +166,27 @@ type Stats struct {
 type Store struct {
 	dir string
 	opt Options
+	fs  FS
 
 	mu      sync.Mutex
-	active  *os.File
+	active  File
 	segIdx  int
 	segSize int64
 	segs    int
 	closed  bool
+	damaged bool // active segment has an unrepaired partial frame: rotate before the next append
 
 	jobs  map[string]*JobView
 	order []string
 
-	records   int64
-	logBytes  int64
-	appends   int64
-	ckptSaves int64
-	truncated bool
+	records     int64
+	logBytes    int64
+	appends     int64
+	ckptSaves   int64
+	truncated   bool
+	quarantined int
+	appendErrs  int64
+	syncFails   int64
 }
 
 const (
@@ -165,8 +200,14 @@ const (
 	maxRecordBytes = 16 << 20
 )
 
+// quarantineSuffix seals a segment whose middle failed validation: the
+// damaged original is preserved for forensics under this suffix while the
+// valid prefix is restored under the segment's own name.
+const quarantineSuffix = ".quarantine"
+
 var (
 	segRe  = regexp.MustCompile(`^seg-(\d{6})\.log$`)
+	qsegRe = regexp.MustCompile(`^seg-(\d{6})\.log\.quarantine$`)
 	ckptRe = regexp.MustCompile(`^[0-9a-f]{1,16}-r\d{8}\.ckpt$`)
 )
 
@@ -177,20 +218,22 @@ var (
 // rejected with ErrDirtyDir rather than guessed at.
 func Open(dir string, opt Options) (*Store, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opt.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if err := checkLayout(dir); err != nil {
+	if err := checkLayout(fs, dir); err != nil {
 		return nil, err
 	}
 	for _, sub := range []string{logDir, ckptDir} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := fs.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
 	s := &Store{
 		dir:  dir,
 		opt:  opt,
+		fs:   fs,
 		jobs: make(map[string]*JobView),
 	}
 	if err := s.replay(); err != nil {
@@ -204,8 +247,8 @@ func Open(dir string, opt Options) (*Store, error) {
 
 // checkLayout rejects data dirs with foreign content: only the store's
 // own subdirectories and files may be present.
-func checkLayout(dir string) error {
-	entries, err := os.ReadDir(dir)
+func checkLayout(fs FS, dir string) error {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -216,20 +259,22 @@ func checkLayout(dir string) error {
 		return fmt.Errorf("%w: unexpected %q in %s (pick an empty or store-owned directory)",
 			ErrDirtyDir, e.Name(), dir)
 	}
-	if err := checkNames(filepath.Join(dir, logDir), func(name string) bool {
-		return segRe.MatchString(name)
+	if err := checkNames(fs, filepath.Join(dir, logDir), func(name string) bool {
+		// .quarantine seals are the store's own damage reports, not
+		// foreign files.
+		return segRe.MatchString(name) || qsegRe.MatchString(name)
 	}); err != nil {
 		return err
 	}
-	return checkNames(filepath.Join(dir, ckptDir), func(name string) bool {
+	return checkNames(fs, filepath.Join(dir, ckptDir), func(name string) bool {
 		// Leftover .tmp files from a crash mid-save are cleaned by
 		// replay, not rejected.
 		return ckptRe.MatchString(name) || strings.HasSuffix(name, ".tmp")
 	})
 }
 
-func checkNames(dir string, ok func(string) bool) error {
-	entries, err := os.ReadDir(dir)
+func checkNames(fs FS, dir string, ok func(string) bool) error {
+	entries, err := fs.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -246,7 +291,7 @@ func checkNames(dir string, ok func(string) bool) error {
 
 // segments lists segment file names in index order.
 func (s *Store) segments() ([]string, error) {
-	entries, err := os.ReadDir(filepath.Join(s.dir, logDir))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, logDir))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -254,6 +299,8 @@ func (s *Store) segments() ([]string, error) {
 	for _, e := range entries {
 		if segRe.MatchString(e.Name()) {
 			names = append(names, e.Name())
+		} else if qsegRe.MatchString(e.Name()) {
+			s.quarantined++
 		}
 	}
 	sort.Strings(names)
@@ -285,13 +332,13 @@ func (s *Store) replay() error {
 	}
 	// Sweep checkpoint temp files left by a crash mid-save, and count the
 	// surviving blobs.
-	entries, err := os.ReadDir(filepath.Join(s.dir, ckptDir))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, ckptDir))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
-			os.Remove(filepath.Join(s.dir, ckptDir, e.Name()))
+			s.fs.Remove(filepath.Join(s.dir, ckptDir, e.Name()))
 			continue
 		}
 		s.ckptSaves++
@@ -300,10 +347,10 @@ func (s *Store) replay() error {
 }
 
 // replaySegment reads one segment, returning the byte offset of the last
-// good frame. In the final segment a bad tail is truncated; elsewhere it
-// is corruption.
+// good frame. In the final segment a bad tail is truncated; elsewhere the
+// damaged segment is quarantined (or, under StrictReplay, fatal).
 func (s *Store) replaySegment(path string, last bool) (int64, error) {
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}
@@ -330,14 +377,50 @@ func (s *Store) replaySegment(path string, last bool) (int64, error) {
 		return off, nil
 	}
 	if !last {
-		return 0, fmt.Errorf("%w: %s has a bad frame at offset %d (not the final segment — refusing to repair)",
-			ErrCorrupt, filepath.Base(path), off)
+		if s.opt.StrictReplay {
+			return 0, fmt.Errorf("%w: %s has a bad frame at offset %d (not the final segment — refusing to repair under strict replay)",
+				ErrCorrupt, filepath.Base(path), off)
+		}
+		return s.quarantineSegment(path, data[:off])
 	}
-	if err := os.Truncate(path, off); err != nil {
+	if err := s.fs.Truncate(path, off); err != nil {
 		return 0, fmt.Errorf("store: truncating torn tail of %s: %w", filepath.Base(path), err)
 	}
 	s.truncated = true
 	return off, nil
+}
+
+// quarantineSegment seals a mid-log segment with a bad frame: the damaged
+// original moves to <name>.quarantine for forensics (re-sealing the same
+// segment overwrites the previous seal — latest damage wins) and the
+// valid prefix is rewritten under the original name, so every frame before
+// the damage survives this boot and all later ones while replay continues
+// into the following segments. Frames after the bad one are lost with the
+// seal — the CRC chain cannot vouch for anything past unverifiable bytes.
+func (s *Store) quarantineSegment(path string, good []byte) (int64, error) {
+	base := filepath.Base(path)
+	if err := s.fs.Rename(path, path+quarantineSuffix); err != nil {
+		return 0, fmt.Errorf("store: quarantining %s: %w", base, err)
+	}
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: rewriting %s after quarantine: %w", base, err)
+	}
+	if _, err := f.Write(good); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("store: rewriting %s after quarantine: %w", base, err)
+	}
+	if err := f.Sync(); err != nil {
+		// The repaired prefix is in the file — only power-loss durability
+		// is in doubt. Refusing to boot over that would turn a flaky fsync
+		// into a wedged store; count it and carry on, like Append does.
+		s.syncFails++
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("store: rewriting %s after quarantine: %w", base, err)
+	}
+	s.quarantined++
+	return int64(len(good)), nil
 }
 
 // apply merges one record into the replayed view.
@@ -378,7 +461,7 @@ func (s *Store) openActive() error {
 		s.segSize = 0
 	}
 	path := filepath.Join(s.dir, logDir, segName(s.segIdx))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -397,6 +480,14 @@ func segName(idx int) string { return fmt.Sprintf("seg-%06d.log", idx) }
 // Append durably adds one record to the log and merges it into the
 // in-memory view. The active segment rotates once it exceeds the size
 // ceiling; a record is never split across segments.
+//
+// A failed write (disk error, short write) loses the record: Append
+// repairs the segment back to the last frame boundary — or, if the repair
+// itself fails, abandons the segment and rotates on the next call — and
+// returns the error. A failed fsync does NOT lose the record: the frame
+// is in the file and will replay after a process crash, so the record is
+// applied and counted, and Append returns ErrSyncFailed to flag the
+// durability gap.
 func (s *Store) Append(rec Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -412,17 +503,37 @@ func (s *Store) Append(rec Record) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if s.segSize > 0 && s.segSize+int64(len(frame)) > s.opt.MaxSegmentBytes {
+	if s.damaged || (s.segSize > 0 && s.segSize+int64(len(frame)) > s.opt.MaxSegmentBytes) {
 		if err := s.rotateLocked(); err != nil {
+			s.appendErrs++
 			return err
 		}
+		s.damaged = false
 	}
-	if _, err := s.active.Write(frame); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if n, err := s.active.Write(frame); err != nil {
+		s.appendErrs++
+		if n > 0 {
+			// A partial frame is on disk. Cut back to the frame boundary so
+			// the log stays clean; if even that fails, the segment is
+			// abandoned — replay will treat the partial frame as a torn
+			// tail (or quarantine it once later segments exist).
+			if terr := s.active.Truncate(s.segSize); terr != nil {
+				s.damaged = true
+			} else if _, serr := s.active.Seek(s.segSize, io.SeekStart); serr != nil {
+				s.damaged = true
+			}
+		}
+		return fmt.Errorf("store: append: %w", err)
 	}
 	if s.opt.Sync {
 		if err := s.active.Sync(); err != nil {
-			return fmt.Errorf("store: %w", err)
+			s.syncFails++
+			s.segSize += int64(len(frame))
+			s.logBytes += int64(len(frame))
+			s.records++
+			s.appends++
+			s.apply(rec)
+			return fmt.Errorf("%w: %w", ErrSyncFailed, err)
 		}
 	}
 	s.segSize += int64(len(frame))
@@ -443,7 +554,7 @@ func (s *Store) rotateLocked() error {
 	s.segs++
 	s.segSize = 0
 	path := filepath.Join(s.dir, logDir, segName(s.segIdx))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -552,28 +663,31 @@ func (s *Store) SaveCheckpoint(hash string, round int, blob []byte) error {
 	}
 	dir := filepath.Join(s.dir, ckptDir)
 	name := CheckpointName(hash, round)
-	tmp, err := os.CreateTemp(dir, name+".*.tmp")
+	tmp, err := s.fs.CreateTemp(dir, name+".*.tmp")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
 	if s.opt.Sync {
 		if err := tmp.Sync(); err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
-			return fmt.Errorf("store: %w", err)
+			s.fs.Remove(tmp.Name())
+			// The blob never became visible under its real name, so unlike
+			// Append this is lost data, but the typed error still lets
+			// callers attribute it to the fsync path.
+			return fmt.Errorf("%w: %w", ErrSyncFailed, err)
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
 	s.ckptSaves++
@@ -585,7 +699,7 @@ func (s *Store) SaveCheckpoint(hash string, round int, blob []byte) error {
 // (keep < 0 removes all). Callers hold s.mu.
 func (s *Store) pruneCheckpointsLocked(hash string, keep int) {
 	prefix := hashPrefix(hash) + "-r"
-	entries, err := os.ReadDir(filepath.Join(s.dir, ckptDir))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, ckptDir))
 	if err != nil {
 		return
 	}
@@ -598,7 +712,7 @@ func (s *Store) pruneCheckpointsLocked(hash string, keep int) {
 		if err != nil || round == keep {
 			continue
 		}
-		if os.Remove(filepath.Join(s.dir, ckptDir, name)) == nil {
+		if s.fs.Remove(filepath.Join(s.dir, ckptDir, name)) == nil {
 			s.ckptSaves--
 		}
 	}
@@ -610,7 +724,7 @@ func (s *Store) LatestCheckpoint(hash string) (blob []byte, round int, err error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prefix := hashPrefix(hash) + "-r"
-	entries, err := os.ReadDir(filepath.Join(s.dir, ckptDir))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, ckptDir))
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
@@ -628,7 +742,7 @@ func (s *Store) LatestCheckpoint(hash string) (blob []byte, round int, err error
 	if best < 0 {
 		return nil, 0, fmt.Errorf("%w for hash %s", ErrNoCheckpoint, hashPrefix(hash))
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, ckptDir, CheckpointName(hash, best)))
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, ckptDir, CheckpointName(hash, best)))
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
@@ -654,14 +768,17 @@ func (s *Store) Stats() Stats {
 		}
 	}
 	return Stats{
-		Segments:      s.segs,
-		Records:       s.records,
-		LogBytes:      s.logBytes,
-		Jobs:          len(s.jobs),
-		Pending:       pending,
-		Checkpoints:   s.ckptSaves,
-		Appends:       s.appends,
-		TailTruncated: s.truncated,
+		Segments:            s.segs,
+		Records:             s.records,
+		LogBytes:            s.logBytes,
+		Jobs:                len(s.jobs),
+		Pending:             pending,
+		Checkpoints:         s.ckptSaves,
+		Appends:             s.appends,
+		TailTruncated:       s.truncated,
+		QuarantinedSegments: s.quarantined,
+		AppendErrors:        s.appendErrs,
+		SyncFailures:        s.syncFails,
 	}
 }
 
@@ -678,8 +795,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if err := s.active.Sync(); err != nil {
+		s.syncFails++
 		s.active.Close()
-		return fmt.Errorf("store: %w", err)
+		return fmt.Errorf("%w: %w", ErrSyncFailed, err)
 	}
 	if err := s.active.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
