@@ -641,3 +641,81 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 	})
 }
+
+// sweepMember is one job of a 64-member same-graph sweep: broadcast
+// gossip on a static ring, whose fingerprint is seed-independent, so the
+// whole sweep shares one topology snapshot. Gossip is the cheap per-round
+// algorithm of the suite, which keeps the benchmark about the submit path
+// (graph build + validate + CSR) rather than engine rounds.
+func sweepMember(n int, seed int64) job.Spec {
+	return job.Spec{
+		Graph:     job.GraphSpec{Builder: "ring", N: n},
+		Kind:      "bc",
+		Function:  "max",
+		Seed:      seed,
+		MaxRounds: 2,
+		Patience:  2,
+	}
+}
+
+// BenchmarkServiceSweep measures the sweep fast path on 64-job
+// same-graph batches (DESIGN §5h): "cold" disables the topology cache and
+// dedup so every member pays its own graph+snapshot build; "warm" shares
+// one snapshot across a 64-seed sweep (counter-asserted: exactly one
+// build); "dedup" submits 64 identical specs that coalesce into a single
+// execution. Sub-benchmark sizes cover n=10⁴–10⁶; CI smoke runs n=10⁴,
+// BENCH_engine.json records the n=10⁶ acceptance row via cmd/benchreport.
+func BenchmarkServiceSweep(b *testing.B) {
+	const members = 64
+	await := func(b *testing.B, svc *service.Service, want int64) {
+		for {
+			st := svc.Stats()
+			if st.Completed+st.Failed+st.Canceled+st.CacheHits >= want {
+				if st.Failed > 0 {
+					b.Fatalf("stats: %+v", st)
+				}
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	run := func(b *testing.B, cfg service.Config, specFor func(iter int, j int) job.Spec, wantBuilds int64) {
+		b.ReportAllocs()
+		cfg.QueueDepth = members * (b.N + 1)
+		cfg.CacheSize = -1
+		cfg.ProgressEvery = 1 << 30
+		svc := service.New(cfg)
+		defer svc.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			specs := make([]job.Spec, members)
+			for j := range specs {
+				specs[j] = specFor(i, j)
+			}
+			if _, err := svc.SubmitBatch(specs); err != nil {
+				b.Fatal(err)
+			}
+			await(b, svc, int64(members*(i+1)))
+		}
+		b.StopTimer()
+		if st := svc.Stats(); wantBuilds > 0 && st.TopoCacheMisses != wantBuilds*int64(b.N) {
+			b.Fatalf("sweep built %d snapshots over %d iterations, want %d per iteration", st.TopoCacheMisses, b.N, wantBuilds)
+		}
+		b.ReportMetric(float64(members*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	}
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		// Distinct seeds per iteration keep every job a fresh computation
+		// (no result-LRU carryover between b.N iterations).
+		seedSweep := func(i, j int) job.Spec { return sweepMember(n, int64(i*members+j)) }
+		identical := func(i, j int) job.Spec { return sweepMember(n, int64(i)) }
+		b.Run(fmt.Sprintf("cold/n=%d", n), func(b *testing.B) {
+			run(b, service.Config{TopoCacheBytes: -1, NoDedup: true}, seedSweep, 0)
+		})
+		b.Run(fmt.Sprintf("warm/n=%d", n), func(b *testing.B) {
+			run(b, service.Config{}, seedSweep, 1)
+		})
+		b.Run(fmt.Sprintf("dedup/n=%d", n), func(b *testing.B) {
+			run(b, service.Config{}, identical, 1)
+		})
+	}
+}

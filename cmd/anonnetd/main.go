@@ -69,6 +69,9 @@ func run() error {
 		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant submit rate limit in requests/second (0: disabled)")
 		tenantBurst = flag.Int("tenant-burst", 10, "per-tenant submit burst ceiling (with -tenant-rps)")
 
+		topoBytes = flag.Int64("topo-cache-bytes", 0, "shared topology-snapshot cache budget in bytes (0: default 256 MiB, <0: disabled)")
+		dedupe    = flag.Bool("dedupe", true, "coalesce identical in-flight submissions into one execution")
+
 		breakerK    = flag.Int("breaker-threshold", 0, "consecutive persist failures before degraded mode (0: default 5, <0: disabled)")
 		breakerCool = flag.Duration("breaker-cooldown", 0, "degraded-mode dwell before a half-open store probe (0: default 3s)")
 		chaosPlan   = flag.String("chaos", "", "chaos failpoint plan as JSON (testing only; see internal/chaos)")
@@ -127,6 +130,8 @@ func run() error {
 		BreakerThreshold: *breakerK,
 		BreakerCooldown:  *breakerCool,
 		Intercept:        intercept,
+		TopoCacheBytes:   *topoBytes,
+		NoDedup:          !*dedupe,
 	})
 	if st != nil {
 		n, err := svc.Recover()

@@ -50,6 +50,24 @@ func newMetricsRegistry(svc *service.Service, st *store.Store, lim *quota.Limite
 		func(s service.Stats) int64 { return s.DegradedDropped })
 	counter("anonnetd_backfilled_total", "Jobs re-appended to the log after the breaker closed.",
 		func(s service.Stats) int64 { return s.Backfilled })
+	counter("anonnetd_topo_cache_hits_total", "Compiles served an already-resident topology snapshot.",
+		func(s service.Stats) int64 { return s.TopoCacheHits })
+	counter("anonnetd_topo_cache_misses_total", "Topology snapshots built because no shared one was resident.",
+		func(s service.Stats) int64 { return s.TopoCacheMisses })
+	counter("anonnetd_topo_cache_coalesced_total", "Compiles that waited on another compile's in-flight snapshot build.",
+		func(s service.Stats) int64 { return s.TopoCacheCoalesced })
+	counter("anonnetd_topo_cache_evictions_total", "Idle snapshots evicted to stay under the byte budget.",
+		func(s service.Stats) int64 { return s.TopoCacheEvictions })
+	counter("anonnetd_dedup_coalesced_total", "Submissions attached to an identical in-flight job instead of enqueueing.",
+		func(s service.Stats) int64 { return s.DedupCoalesced })
+	counter("anonnetd_affinity_hits_total", "Jobs dispatched to a worker whose previous job shared the graph fingerprint.",
+		func(s service.Stats) int64 { return s.AffinityHits })
+	counter("anonnetd_affinity_misses_total", "Jobs dispatched to a worker with a different (or no) previous fingerprint.",
+		func(s service.Stats) int64 { return s.AffinityMisses })
+	gauge("anonnetd_topo_cache_bytes", "Resident bytes in the shared topology-snapshot cache.",
+		func(s service.Stats) float64 { return float64(s.TopoCacheBytes) })
+	gauge("anonnetd_topo_cache_entries", "Snapshots resident in the shared topology cache.",
+		func(s service.Stats) float64 { return float64(s.TopoCacheEntries) })
 	gauge("anonnetd_jobs_running", "Jobs executing right now.",
 		func(s service.Stats) float64 { return float64(s.Running) })
 	gauge("anonnetd_jobs_queued", "Jobs waiting in the bounded queue.",

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"anonnet/internal/dynamic"
+	"anonnet/internal/graph"
 	"anonnet/internal/model"
 	"anonnet/internal/topology"
 )
@@ -44,6 +45,20 @@ type Config struct {
 	// follow exactly the pre-fault code paths, so traces are bit-identical
 	// to builds without the fault layer.
 	Faults FaultInjector
+	// SharedSnapshot, together with SharedGraph, pre-seeds the runner's
+	// topology provider with an immutable prebuilt CSR of a static round
+	// graph (the process-wide topology cache entry of the sweep fast
+	// path). Rounds whose graph is pointer-identical to SharedGraph are
+	// served the shared snapshot without validation or rebuild; all other
+	// round graphs — churn rewrites, pre-start filtered graphs, dynamic
+	// schedules — build normally, so the pair is always safe to set. The
+	// snapshot must have been built from SharedGraph under Kind
+	// (topology.BuildSnapshot; job.CompileWithCache wires this), and the
+	// caller must keep it pinned for the runner's lifetime — the runner
+	// borrows it and never recycles or frees it.
+	SharedSnapshot *topology.Snapshot
+	// SharedGraph identifies the graph SharedSnapshot flattens.
+	SharedGraph *graph.Graph
 }
 
 func (c *Config) validate() error {
@@ -150,10 +165,14 @@ func newCore(cfg Config, name string) (*core, error) {
 	}
 	n := len(agents)
 	src := newCountingSource(cfg.Seed)
+	var topoOpts []topology.Option
+	if cfg.SharedSnapshot != nil && cfg.SharedGraph != nil && cfg.SharedSnapshot.N() == n {
+		topoOpts = append(topoOpts, topology.WithSharedSnapshot(cfg.SharedGraph, cfg.SharedSnapshot))
+	}
 	c := &core{
 		cfg:     cfg,
 		name:    name,
-		topo:    topology.NewProvider(schedule, cfg.Kind),
+		topo:    topology.NewProvider(schedule, cfg.Kind, topoOpts...),
 		agents:  agents,
 		rng:     rand.New(src),
 		src:     src,

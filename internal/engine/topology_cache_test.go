@@ -6,6 +6,8 @@ package engine_test
 // rebuilding once the last agent has started (the AsyncStart.At shortcut).
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"testing"
 
@@ -134,6 +136,118 @@ func TestTopologyStatsBuildTime(t *testing.T) {
 	if stats.BuildNanos <= 0 {
 		t.Fatalf("BuildNanos = %d, want > 0 after %d builds", stats.BuildNanos, stats.Builds)
 	}
+}
+
+// TestSharedSnapshotZeroBuildsIdenticalTrace is the engine half of the
+// sweep fast path: a runner handed a prebuilt shared snapshot must perform
+// ZERO topology builds over a static run — on every engine — and its
+// output trace must be byte-identical to a runner that builds its own
+// snapshot. Shared CSR on or off is invisible to the computation.
+func TestSharedSnapshotZeroBuildsIdenticalTrace(t *testing.T) {
+	const n, rounds = 48, 60
+	g := graph.BidirectionalRing(n).AssignPorts().EnsureSelfLoops()
+	shared, err := topology.BuildSnapshot(g, model.OutdegreeAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range append(engineNames, "parvec") {
+		t.Run(name, func(t *testing.T) {
+			mk := func(withShared bool) engine.Runner {
+				cfg := engine.Config{
+					Schedule: dynamic.NewStatic(g),
+					Kind:     model.OutdegreeAware,
+					Inputs:   caseInputs(n),
+					Factory:  pushsum.NewAverageFactory(),
+					Seed:     23,
+				}
+				if withShared {
+					cfg.SharedSnapshot = shared
+					cfg.SharedGraph = g
+				}
+				ename, shards := name, 3
+				if name == "parvec" {
+					ename = "vec"
+				}
+				r, err := engine.NewRunner(cfg, ename, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			plain := mk(false)
+			want := traceHashOver(t, plain, rounds)
+			plain.Close()
+			fast := mk(true)
+			defer fast.Close()
+			h := traceHashOver(t, fast, rounds)
+			if h != want {
+				t.Fatalf("shared-snapshot trace diverged:\n  shared %s\n  plain  %s", h, want)
+			}
+			if got := fast.(topoStatser).TopologyStats().Builds; got != 0 {
+				t.Fatalf("shared-snapshot run built %d snapshots, want 0", got)
+			}
+		})
+	}
+}
+
+// TestSharedSnapshotBypassedByChurnAndStarts: the shared snapshot is a
+// pointer-identity hint, never an obligation — rounds whose graph differs
+// from the shared graph (async-start filtered rounds here) must build
+// normally and still match the unshared trace.
+func TestSharedSnapshotBypassedByChurnAndStarts(t *testing.T) {
+	const n, rounds = 8, 40
+	g := graph.Ring(n)
+	shared, err := topology.BuildSnapshot(g, model.OutdegreeAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := []int{1, 4, 2, 1, 1, 3, 1, 1} // maxStart = 4
+	mk := func(withShared bool) engine.Runner {
+		cfg := engine.Config{
+			Schedule: dynamic.NewStatic(g),
+			Kind:     model.OutdegreeAware,
+			Inputs:   caseInputs(n),
+			Factory:  pushsum.NewAverageFactory(),
+			Seed:     23,
+			Starts:   starts,
+		}
+		if withShared {
+			cfg.SharedSnapshot = shared
+			cfg.SharedGraph = g
+		}
+		r, err := engine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain := mk(false)
+	want := traceHashOver(t, plain, rounds)
+	plain.Close()
+	fast := mk(true)
+	defer fast.Close()
+	if h := traceHashOver(t, fast, rounds); h != want {
+		t.Fatalf("async-start trace diverged with shared snapshot:\n  shared %s\n  plain  %s", h, want)
+	}
+	// Pre-start rounds build their filtered graphs (3 distinct ones); the
+	// stable base from maxStart on is served by the shared snapshot.
+	if got := fast.(topoStatser).TopologyStats().Builds; got != 3 {
+		t.Fatalf("async-start run with shared base built %d snapshots, want 3 (pre-start rounds only)", got)
+	}
+}
+
+// traceHashOver hashes the full output history of rounds steps, closing
+// nothing (callers own the runner).
+func traceHashOver(t *testing.T, r engine.Runner, rounds int) string {
+	t.Helper()
+	h := sha256.New()
+	for round := 1; round <= rounds; round++ {
+		if err := r.Step(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		fmt.Fprintf(h, "%d:%v\n", round, r.Outputs())
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Example-style sanity check that NewRunner rejects unknown names with a

@@ -34,21 +34,7 @@ type CheckpointConfig struct {
 // drain). An interrupted run surfaces an error wrapping
 // engine.ErrInterrupted after its final checkpoint reached cfg.Save.
 func RunCheckpointed(ctx context.Context, c *Compiled, obs engine.Observer, ck CheckpointConfig) (*Result, error) {
-	cfg := engine.Config{
-		Schedule: c.Schedule,
-		Kind:     c.Setting.Kind,
-		Inputs:   c.Inputs,
-		Factory:  c.Factory,
-		Seed:     c.Spec.Seed,
-		Starts:   c.Spec.Starts,
-	}
-	if c.Injector != nil {
-		cfg.Faults = c.Injector
-	}
-	name := c.Spec.Engine
-	if c.Spec.Concurrent {
-		name = "conc"
-	}
+	cfg, name := c.engineConfig()
 	r, err := engine.NewRunner(cfg, name, c.Spec.Shards)
 	if err != nil {
 		return nil, err

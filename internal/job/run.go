@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 
 	"anonnet/internal/core"
 	"anonnet/internal/dynamic"
 	"anonnet/internal/engine"
 	"anonnet/internal/faults"
 	"anonnet/internal/funcs"
+	"anonnet/internal/graph"
 	"anonnet/internal/model"
+	"anonnet/internal/topology"
 )
 
 // F64 is a float64 that JSON-encodes non-finite values as the strings
@@ -65,6 +68,13 @@ type Compiled struct {
 	// Spec is the canonical form; Hash its content hash.
 	Spec Spec
 	Hash string
+	// Fingerprint is the canonical graph fingerprint — the sub-hash of
+	// Hash covering only the fields that determine the round graph and
+	// its CSR (builder + dims + seed-when-seeded + kind). Empty for
+	// dynamic builders and Dynamic-forced specs, which have no single
+	// graph to share. The service keys its topology cache and batch
+	// affinity grouping by it.
+	Fingerprint string
 	// N is the number of agents.
 	N int
 	// Setting is the table cell the spec instantiates.
@@ -83,18 +93,45 @@ type Compiled struct {
 	// Expected is f applied to the inputs — the ground truth the harness
 	// measures errors against.
 	Expected float64
+
+	// topo pins the shared topology-cache entry this job compiled
+	// against; nil for uncached compiles. Released exactly once through
+	// ReleaseTopo when the job reaches a terminal state.
+	topo     *topology.Entry
+	topoOnce sync.Once
+}
+
+// TopoEntry exposes the pinned topology-cache entry ({graph, snapshot}),
+// or nil for uncached compiles. Borrowers must not outlive ReleaseTopo.
+func (c *Compiled) TopoEntry() *topology.Entry { return c.topo }
+
+// ReleaseTopo unpins the job's shared topology-cache entry. Idempotent
+// and nil-safe; whoever owns the job's lifecycle (the service, a bench
+// harness) calls it when the job can no longer run.
+func (c *Compiled) ReleaseTopo() {
+	if c.topo != nil {
+		c.topoOnce.Do(c.topo.Release)
+	}
 }
 
 // Compile validates the spec, builds the network, dispatches the function
 // to the algorithm realizing the setting's cell, and returns the
 // executable job. Validation failures are *Error; a table-forbidden
 // (function, setting) pair surfaces core.NewFactory's explanatory error.
-func Compile(s Spec) (*Compiled, error) {
+func Compile(s Spec) (*Compiled, error) { return CompileWithCache(s, nil) }
+
+// CompileWithCache is Compile with a process-wide topology cache: when
+// the spec names a static graph, the built network and its validated CSR
+// snapshot are acquired from (or built once into) cache under the spec's
+// graph fingerprint instead of being rebuilt per job — the sweep fast
+// path. The returned job holds a pinned cache entry; callers must arrange
+// ReleaseTopo when it turns terminal. A nil cache compiles standalone.
+func CompileWithCache(s Spec, cache *topology.Cache) (*Compiled, error) {
 	c, err := s.Canonical()
 	if err != nil {
 		return nil, err
 	}
-	hash, err := c.Hash()
+	hash, err := hashCanonical(c)
 	if err != nil {
 		return nil, err
 	}
@@ -134,30 +171,71 @@ func Compile(s Spec) (*Compiled, error) {
 	for _, l := range c.Leaders {
 		inputs[l].Leader = true
 	}
-	schedule := info.build(c.Graph, n, c.Seed)
+	fingerprint := graphFingerprint(c, info)
+	var schedule dynamic.Schedule
+	var topoEntry *topology.Entry
+	if cache != nil && fingerprint != "" {
+		entry, aerr := cache.Acquire(fingerprint, func() (*graph.Graph, *topology.Snapshot, error) {
+			st, ok := info.build(c.Graph, n, c.Seed).(*dynamic.Static)
+			if !ok {
+				return nil, nil, fmt.Errorf("job: static builder %q produced a %T schedule", c.Graph.Builder, st)
+			}
+			g := st.Graph()
+			snap, err := topology.BuildSnapshot(g, kind)
+			if err != nil {
+				return nil, nil, err
+			}
+			return g, snap, nil
+		})
+		if aerr == nil {
+			topoEntry = entry
+			// The cached graph already carries its self-loops, so NewStatic
+			// returns a schedule over the exact shared pointer — which is
+			// what lets the engine's provider serve the shared snapshot by
+			// pointer identity.
+			schedule = dynamic.NewStatic(entry.Graph)
+		}
+		// On Acquire error, fall through to the uncached path: a graph the
+		// §2.1 validation rejects (say kind=sym on a directed builder) must
+		// keep compiling fine and failing at run time, exactly as it does
+		// without a cache — Compile's error surface is API.
+	}
+	if schedule == nil {
+		schedule = info.build(c.Graph, n, c.Seed)
+	}
 	var injector *faults.Injector
 	if c.Faults != nil {
 		injector, err = faults.NewInjector(c.Seed, *c.Faults)
 		if err != nil {
+			topoRelease(topoEntry)
 			return nil, errf("faults", "%v", err)
 		}
 		schedule, err = faults.WrapSchedule(schedule, c.Seed, c.Faults.Churn)
 		if err != nil {
+			topoRelease(topoEntry)
 			return nil, errf("faults.churn", "%v", err)
 		}
 	}
 	return &Compiled{
-		Spec:     c,
-		Hash:     hash,
-		N:        n,
-		Setting:  setting,
-		Func:     f,
-		Factory:  factory,
-		Schedule: schedule,
-		Injector: injector,
-		Inputs:   inputs,
-		Expected: f.FromVector(c.Values),
+		Spec:        c,
+		Hash:        hash,
+		Fingerprint: fingerprint,
+		N:           n,
+		Setting:     setting,
+		Func:        f,
+		Factory:     factory,
+		Schedule:    schedule,
+		Injector:    injector,
+		Inputs:      inputs,
+		Expected:    f.FromVector(c.Values),
+		topo:        topoEntry,
 	}, nil
+}
+
+func topoRelease(e *topology.Entry) {
+	if e != nil {
+		e.Release()
+	}
 }
 
 // Result reports one finished run.
@@ -191,12 +269,11 @@ type FaultCounts struct {
 	Delayed    int64 `json:"delayed"`
 }
 
-// Run executes the compiled job to stabilization (or budget exhaustion)
-// under ctx, reporting each round to obs when non-nil. A context
-// cancellation or deadline aborts at the next round boundary and surfaces
-// the context's error. Equal compiled jobs produce equal results: all
-// four engines are deterministic in the spec's seed.
-func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error) {
+// engineConfig assembles the engine.Config and runner name for a compiled
+// job — the one Config-construction point shared by Run and
+// RunCheckpointed, so the sweep fast path's shared snapshot is wired (or
+// not) identically on both execution paths.
+func (c *Compiled) engineConfig() (engine.Config, string) {
 	cfg := engine.Config{
 		Schedule: c.Schedule,
 		Kind:     c.Setting.Kind,
@@ -210,6 +287,14 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 	if c.Injector != nil {
 		cfg.Faults = c.Injector
 	}
+	// A cache-compiled job borrows the shared snapshot: rounds whose graph
+	// is the pinned entry's graph skip validation and the CSR build. The
+	// engine matches by pointer identity, so churned or async-start rounds
+	// that rewrite the graph simply fall back to building their own.
+	if c.topo != nil {
+		cfg.SharedSnapshot = c.topo.Snap
+		cfg.SharedGraph = c.topo.Graph
+	}
 	// One engine-selection point for the whole repo: engine.NewRunner maps
 	// the spec's engine name to the runner and handles the deterministic
 	// vec→seq fallback (identical traces) itself. The legacy Concurrent
@@ -218,6 +303,16 @@ func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error)
 	if c.Spec.Concurrent {
 		name = "conc"
 	}
+	return cfg, name
+}
+
+// Run executes the compiled job to stabilization (or budget exhaustion)
+// under ctx, reporting each round to obs when non-nil. A context
+// cancellation or deadline aborts at the next round boundary and surfaces
+// the context's error. Equal compiled jobs produce equal results: all
+// four engines are deterministic in the spec's seed.
+func Run(ctx context.Context, c *Compiled, obs engine.Observer) (*Result, error) {
+	cfg, name := c.engineConfig()
 	r, err := engine.NewRunner(cfg, name, c.Spec.Shards)
 	if err != nil {
 		return nil, err

@@ -31,8 +31,11 @@ import (
 // Resource ceilings: a service accepting specs from the network must bound
 // the work a single job can demand.
 const (
-	// MaxAgents bounds the network size n.
-	MaxAgents = 4096
+	// MaxAgents bounds the network size n. The ceiling admits the
+	// million-agent sweeps the vectorized kernels are benchmarked at;
+	// operators fronting untrusted traffic should bound per-tenant load
+	// with quotas, not by shrinking the spec ceiling.
+	MaxAgents = 1 << 20
 	// MaxRoundsCeiling bounds the round budget.
 	MaxRoundsCeiling = 1_000_000
 )
@@ -587,12 +590,55 @@ func (s Spec) Hash() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return hashCanonical(c)
+}
+
+// hashCanonical hashes a spec that is already in canonical form. Compile
+// uses it directly so the canonicalization pass — which copies the
+// length-n Values vector — runs once per compile, not twice.
+func hashCanonical(c Spec) (string, error) {
 	b, err := json.Marshal(c)
 	if err != nil {
 		return "", errf("spec", "canonical encoding failed: %v", err)
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// seededBuilders are the static builders whose graph depends on Spec.Seed.
+// For every other builder the seed only drives the delivery-order shuffle,
+// so sweeps varying the seed on, say, a torus share one graph — which is
+// exactly what the fingerprint must capture.
+var seededBuilders = map[string]bool{"random": true, "randomsym": true, "geometric": true}
+
+// graphFingerprint is the canonical graph fingerprint of a canonical spec:
+// a sub-hash of the spec hash covering only the fields that determine the
+// built round graph and its CSR flattening — the builder with its
+// materialized dimensions, the seed when (and only when) the builder
+// consumes it, and the communication model kind (the Snapshot's slot
+// layout and validation depend on it). Specs producing byte-identical
+// snapshots share a fingerprint; anything else differs.
+//
+// Dynamic builders and Dynamic-forced specs return "": their round graphs
+// change over time, so there is no single snapshot to share (DESIGN §5h).
+func graphFingerprint(c Spec, info builderInfo) string {
+	if !info.static || c.Dynamic {
+		return ""
+	}
+	key := struct {
+		Graph GraphSpec `json:"graph"`
+		Kind  string    `json:"kind"`
+		Seed  int64     `json:"seed,omitempty"`
+	}{Graph: c.Graph, Kind: c.Kind}
+	if seededBuilders[c.Graph.Builder] {
+		key.Seed = c.Seed
+	}
+	b, err := json.Marshal(key)
+	if err != nil {
+		return "" // unreachable for a canonical spec; degrade to uncached
+	}
+	sum := sha256.Sum256(b)
+	return "g" + hex.EncodeToString(sum[:16])
 }
 
 // Encode returns the spec's JSON encoding (not canonicalized).

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"anonnet/internal/metrics"
 	"anonnet/internal/model"
 	"anonnet/internal/store"
+	"anonnet/internal/topology"
 )
 
 // Service errors.
@@ -105,6 +107,18 @@ type Config struct {
 	// and a panic is recovered like a runner panic. Injection point for
 	// the chaos layer's worker failpoints.
 	Intercept func(ctx context.Context, jobID string, attempt int) error
+	// TopoCacheBytes bounds the shared topology-snapshot cache in bytes
+	// (0 selects topology.DefaultCacheBytes; negative disables cross-job
+	// snapshot sharing). Jobs whose specs share a graph fingerprint —
+	// same builder, dimensions, model kind, and seed when the builder is
+	// seeded — compile against one refcounted immutable snapshot instead
+	// of each building their own.
+	TopoCacheBytes int64
+	// NoDedup disables single-flight spec deduplication. By default a
+	// spec submitted while an identical one (same canonical hash) is
+	// queued or running attaches to it as a follower: one execution,
+	// shared result/stream/terminal state, no duplicate queue slot.
+	NoDedup bool
 
 	// runnerInjected records whether Runner came from the caller: the
 	// checkpointed execution path only replaces the built-in job.Run,
@@ -186,6 +200,9 @@ type Job struct {
 	State    State    `json:"state"`
 	Error    string   `json:"error,omitempty"`
 	CacheHit bool     `json:"cache_hit,omitempty"`
+	// DedupOf names the leader job whose execution this job rides as a
+	// single-flight follower.
+	DedupOf string `json:"dedup_of,omitempty"`
 	// Result is set when State is done.
 	Result    *job.Result `json:"result,omitempty"`
 	Submitted time.Time   `json:"submitted"`
@@ -225,6 +242,15 @@ type entry struct {
 	ckptRound int                // last checkpointed round (durable path)
 	recovered bool               // re-enqueued from the store at boot
 	subs      map[chan Progress]struct{}
+
+	// Single-flight dedup links. A follower (leader != nil) shares its
+	// leader's execution: no queue slot, mirrored state, shared result.
+	// A detached leader (detached set) was canceled by its own client
+	// while followers remained attached — the execution keeps running on
+	// their behalf and the result settles on them alone.
+	leader    *entry
+	followers []*entry
+	detached  bool
 }
 
 // Stats is a snapshot of the service counters (mirrored to expvar under
@@ -255,7 +281,18 @@ type Stats struct {
 	DegradedDropped int64 `json:"degraded_dropped"`
 	Backfilled      int64 `json:"backfilled"`
 	Degraded        bool  `json:"degraded"`
-	Queued          int   `json:"queued"`
+	// Sweep fast path: the shared topology-snapshot cache and the
+	// single-flight dedup and affinity layers above it.
+	TopoCacheHits      int64 `json:"topo_cache_hits"`
+	TopoCacheMisses    int64 `json:"topo_cache_misses"`
+	TopoCacheCoalesced int64 `json:"topo_cache_coalesced"`
+	TopoCacheEvictions int64 `json:"topo_cache_evictions"`
+	TopoCacheBytes     int64 `json:"topo_cache_bytes"`
+	TopoCacheEntries   int   `json:"topo_cache_entries"`
+	DedupCoalesced     int64 `json:"dedup_coalesced"`
+	AffinityHits       int64 `json:"affinity_hits"`
+	AffinityMisses     int64 `json:"affinity_misses"`
+	Queued             int   `json:"queued"`
 	Running         int   `json:"running"`
 	CacheEntries    int   `json:"cache_entries"`
 	Workers         int   `json:"workers"`
@@ -265,11 +302,16 @@ type Stats struct {
 type Service struct {
 	cfg Config
 
+	// topo is the process-wide shared topology-snapshot cache handed to
+	// every compile; nil when Config.TopoCacheBytes is negative.
+	topo *topology.Cache
+
 	mu        sync.Mutex
 	jobs      map[string]*entry
 	order     []string
 	batches   map[string][]string
 	cache     *lru
+	inflight  map[string]*entry // canonical hash → dedup leader (queued or running)
 	closed    bool
 	shutdown  bool // graceful shutdown: queued jobs stay queued for the next boot
 	nextID    int64
@@ -305,6 +347,10 @@ type Service struct {
 	degradedDrop atomic.Int64
 	backfilled   atomic.Int64
 	workersAlive atomic.Int64
+
+	dedupCoalesced atomic.Int64
+	affinityHits   atomic.Int64
+	affinityMisses atomic.Int64
 }
 
 // Global expvar mirror: one "anonnetd" map shared by every Service in the
@@ -342,12 +388,16 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	publishExpvars()
 	s := &Service{
-		cfg:     cfg,
-		jobs:    make(map[string]*entry),
-		batches: make(map[string][]string),
-		cache:   newLRU(cfg.CacheSize),
-		queue:   make(chan *entry, cfg.QueueDepth),
-		dirty:   make(map[string]bool),
+		cfg:      cfg,
+		jobs:     make(map[string]*entry),
+		batches:  make(map[string][]string),
+		cache:    newLRU(cfg.CacheSize),
+		inflight: make(map[string]*entry),
+		queue:    make(chan *entry, cfg.QueueDepth),
+		dirty:    make(map[string]bool),
+	}
+	if cfg.TopoCacheBytes >= 0 {
+		s.topo = topology.NewCache(cfg.TopoCacheBytes)
 	}
 	if cfg.Store != nil {
 		// Continue the persisted ID sequence so recovered and new jobs
@@ -366,13 +416,14 @@ func New(cfg Config) *Service {
 // canonical hash) has a cached result, the job is born done with
 // CacheHit set and no work is queued. Returns the job snapshot.
 func (s *Service) Submit(spec job.Spec) (*Job, error) {
-	compiled, err := job.Compile(spec)
+	compiled, err := job.CompileWithCache(spec, s.topo)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		compiled.ReleaseTopo()
 		return nil, ErrClosed
 	}
 	e, err := s.submitLocked(compiled)
@@ -383,8 +434,9 @@ func (s *Service) Submit(spec job.Spec) (*Job, error) {
 }
 
 // submitLocked registers one compiled job: cache-served jobs are born
-// done, everything else is pushed onto the bounded queue (ErrQueueFull
-// when at capacity). Callers hold s.mu.
+// done, a job identical to one already queued or running attaches to it
+// as a dedup follower, and everything else is pushed onto the bounded
+// queue (ErrQueueFull when at capacity). Callers hold s.mu.
 func (s *Service) submitLocked(compiled *job.Compiled) (*entry, error) {
 	s.nextID++
 	e := &entry{
@@ -396,6 +448,7 @@ func (s *Service) submitLocked(compiled *job.Compiled) (*entry, error) {
 		subs:      make(map[chan Progress]struct{}),
 	}
 	if res, ok := s.resultForHash(e.hash); ok {
+		compiled.ReleaseTopo()
 		e.state = StateDone
 		e.result = res
 		e.cacheHit = true
@@ -408,16 +461,54 @@ func (s *Service) submitLocked(compiled *job.Compiled) (*entry, error) {
 		expHits.Add(1)
 		return e, nil
 	}
+	if !s.cfg.NoDedup {
+		if lead, ok := s.inflight[e.hash]; ok {
+			// Single-flight: an identical computation is already in
+			// flight — ride it instead of enqueueing a duplicate. The
+			// follower keeps its own job ID, watch stream, and cancel
+			// button; the result and terminal state arrive from the
+			// leader's one execution.
+			compiled.ReleaseTopo()
+			e.leader = lead
+			e.state = lead.state
+			e.started = lead.started
+			lead.followers = append(lead.followers, e)
+			s.jobs[e.id] = e
+			s.order = append(s.order, e.id)
+			s.submitted.Add(1)
+			expSubmitted.Add(1)
+			s.dedupCoalesced.Add(1)
+			if s.cfg.Store != nil {
+				spec, err := json.Marshal(compiled.Spec)
+				if err != nil {
+					spec = nil
+				}
+				// The follower's own log trail: queued (with its spec, so
+				// a crash recovers it as an independent job), then its
+				// mirrored states. Its terminal record never carries the
+				// result payload — that is persisted once, by the leader.
+				s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateQueued, Spec: spec})
+				if e.state == StateRunning {
+					s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateRunning})
+				}
+			}
+			return e, nil
+		}
+	}
 	select {
 	case s.queue <- e:
 	default:
 		s.nextID--
+		compiled.ReleaseTopo()
 		return nil, ErrQueueFull
 	}
 	s.jobs[e.id] = e
 	s.order = append(s.order, e.id)
 	s.submitted.Add(1)
 	expSubmitted.Add(1)
+	if !s.cfg.NoDedup {
+		s.inflight[e.hash] = e
+	}
 	if s.cfg.Store != nil {
 		spec, err := json.Marshal(compiled.Spec)
 		if err != nil {
@@ -426,6 +517,14 @@ func (s *Service) submitLocked(compiled *job.Compiled) (*entry, error) {
 		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateQueued, Spec: spec})
 	}
 	return e, nil
+}
+
+// dropInflightLocked removes e from the dedup index if it is still the
+// registered leader for its hash. Callers hold s.mu.
+func (s *Service) dropInflightLocked(e *entry) {
+	if s.inflight[e.hash] == e {
+		delete(s.inflight, e.hash)
+	}
 }
 
 // resultForHash consults the two result tiers: the in-memory LRU, then
@@ -594,7 +693,7 @@ func (s *Service) Recover() (int, error) {
 		err := json.Unmarshal(v.Spec, &spec)
 		var compiled *job.Compiled
 		if err == nil {
-			compiled, err = job.Compile(spec)
+			compiled, err = job.CompileWithCache(spec, s.topo)
 		}
 		if err != nil {
 			s.persist(store.Record{JobID: v.ID, Hash: v.Hash, State: store.StateFailed,
@@ -610,9 +709,13 @@ func (s *Service) Recover() (int, error) {
 			recovered: true,
 			subs:      make(map[chan Progress]struct{}),
 		}
+		// Recovery never registers dedup leaders and never attaches
+		// followers: each persisted job resumes as an independent
+		// execution (identical ones converge through the result cache).
 		select {
 		case s.queue <- e:
 		default:
+			compiled.ReleaseTopo()
 			return n, fmt.Errorf("%w: %d jobs recovered, %s and later still pending", ErrQueueFull, n, v.ID)
 		}
 		s.jobs[e.id] = e
@@ -639,13 +742,19 @@ type Batch struct {
 	Failed int `json:"failed"`
 	// CacheHits counts member jobs served from the result cache.
 	CacheHits int `json:"cache_hits"`
+	// Deduped counts member jobs riding another job's execution as
+	// single-flight followers.
+	Deduped int `json:"deduped,omitempty"`
 }
 
 // SubmitBatch validates and enqueues a parameter sweep as one batch,
 // all-or-nothing: if any spec fails validation, or the queue lacks room
-// for every job that is not a cache hit, nothing is enqueued. The member
-// jobs are ordinary jobs (Get/Cancel/Watch work on them individually);
-// GetBatch aggregates them.
+// for every job that is not a cache hit or a dedup follower, nothing is
+// enqueued. Jobs sharing a graph fingerprint are enqueued contiguously so
+// workers run them back to back against a warm topology snapshot; the
+// client-visible member order (Batch.Jobs, GetBatch) stays the submission
+// order. The member jobs are ordinary jobs (Get/Cancel/Watch work on them
+// individually); GetBatch aggregates them.
 func (s *Service) SubmitBatch(specs []job.Spec) (*Batch, error) {
 	if len(specs) == 0 {
 		return nil, ErrEmptyBatch
@@ -654,40 +763,72 @@ func (s *Service) SubmitBatch(specs []job.Spec) (*Batch, error) {
 		return nil, fmt.Errorf("%w: %d specs, ceiling is %d", ErrBatchTooLarge, len(specs), MaxBatchSize)
 	}
 	compiled := make([]*job.Compiled, len(specs))
+	release := func(from int) {
+		for i := from; i < len(compiled); i++ {
+			if compiled[i] != nil {
+				compiled[i].ReleaseTopo()
+			}
+		}
+	}
 	for i, sp := range specs {
-		c, err := job.Compile(sp)
+		c, err := job.CompileWithCache(sp, s.topo)
 		if err != nil {
+			release(0)
 			return nil, fmt.Errorf("specs[%d]: %w", i, err)
 		}
 		compiled[i] = c
 	}
+	// Affinity grouping: enqueue in fingerprint order (stable, so
+	// same-graph jobs keep their relative submission order).
+	enq := make([]int, len(compiled))
+	for i := range enq {
+		enq[i] = i
+	}
+	sort.SliceStable(enq, func(a, b int) bool {
+		return compiled[enq[a]].Fingerprint < compiled[enq[b]].Fingerprint
+	})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		release(0)
 		return nil, ErrClosed
 	}
 	// Capacity pre-check makes the enqueue loop infallible: count the jobs
-	// that will actually need a queue slot (cache hits are born done).
+	// that will actually need a queue slot. Cache hits are born done, and
+	// dedup followers — of an in-flight leader or of an earlier member of
+	// this very batch — attach without a slot.
 	need := 0
+	seen := make(map[string]bool)
 	for _, c := range compiled {
-		if _, ok := s.cache.get(c.Hash); !ok {
-			need++
+		if _, ok := s.resultForHash(c.Hash); ok {
+			continue
 		}
+		if !s.cfg.NoDedup {
+			if _, infl := s.inflight[c.Hash]; infl || seen[c.Hash] {
+				continue
+			}
+			seen[c.Hash] = true
+		}
+		need++
 	}
 	if need > cap(s.queue)-len(s.queue) {
+		release(0)
 		return nil, ErrQueueFull
 	}
 	s.nextBatch++
 	bid := fmt.Sprintf("b%04d", s.nextBatch)
-	ids := make([]string, 0, len(compiled))
-	for _, c := range compiled {
-		e, err := s.submitLocked(c)
+	ids := make([]string, len(compiled))
+	for k, i := range enq {
+		e, err := s.submitLocked(compiled[i])
 		if err != nil {
 			// Unreachable given the pre-check; surface it rather than
 			// leaving a half-registered batch silently.
+			for _, j := range enq[k:] {
+				compiled[j].ReleaseTopo()
+			}
 			return nil, fmt.Errorf("batch %s: %w", bid, err)
 		}
-		ids = append(ids, e.id)
+		ids[i] = e.id
 	}
 	s.batches[bid] = ids
 	return s.batchLocked(bid, ids), nil
@@ -718,6 +859,9 @@ func (s *Service) batchLocked(id string, ids []string) *Batch {
 		}
 		if e.cacheHit {
 			b.CacheHits++
+		}
+		if e.leader != nil {
+			b.Deduped++
 		}
 	}
 	return b
@@ -761,9 +905,34 @@ func (s *Service) Cancel(id string) (*Job, error) {
 }
 
 // cancelLocked cancels one job: a queued job turns terminal immediately
-// (the pool will skip it), a running job gets its context canceled.
-// Callers hold s.mu.
+// (the pool will skip it), a running job gets its context canceled. Dedup
+// changes who the cancel reaches: canceling a follower detaches only that
+// follower, and canceling a leader with followers attached cancels only
+// the leader's own view — the shared execution is stopped when its last
+// interested member detaches. Callers hold s.mu.
 func (s *Service) cancelLocked(e *entry) {
+	if e.leader != nil {
+		s.cancelFollowerLocked(e)
+		return
+	}
+	if e.detached {
+		return // this client's view already ended canceled
+	}
+	if len(e.followers) > 0 && (e.state == StateQueued || e.state == StateRunning) {
+		// Detach the leader: its client sees a canceled job, but the
+		// followers still want the result, so the execution keeps going
+		// and settles on them alone. New identical submissions no longer
+		// attach here.
+		e.detached = true
+		s.dropInflightLocked(e)
+		e.state = StateCanceled
+		e.finished = time.Now()
+		s.canceled.Add(1)
+		expCanceled.Add(1)
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateCanceled})
+		s.finishLocked(e)
+		return
+	}
 	switch e.state {
 	case StateQueued:
 		e.canceled = true
@@ -771,11 +940,43 @@ func (s *Service) cancelLocked(e *entry) {
 		e.finished = time.Now()
 		s.canceled.Add(1)
 		expCanceled.Add(1)
+		s.dropInflightLocked(e)
 		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateCanceled})
 		s.finishLocked(e)
 	case StateRunning:
+		s.dropInflightLocked(e)
 		if e.cancel != nil {
 			e.cancel()
+		}
+	}
+}
+
+// cancelFollowerLocked detaches one follower from its leader's execution:
+// the follower turns terminal-canceled on the spot, and if it was the
+// last member still interested — the leader itself having detached
+// earlier — the now-orphaned execution is stopped too. Callers hold s.mu.
+func (s *Service) cancelFollowerLocked(f *entry) {
+	if f.state.Terminal() {
+		return
+	}
+	lead := f.leader
+	f.state = StateCanceled
+	f.finished = time.Now()
+	s.canceled.Add(1)
+	expCanceled.Add(1)
+	s.persist(store.Record{JobID: f.id, Hash: f.hash, State: store.StateCanceled})
+	s.finishLocked(f)
+	for i, g := range lead.followers {
+		if g == f {
+			lead.followers = append(lead.followers[:i], lead.followers[i+1:]...)
+			break
+		}
+	}
+	if lead.detached && len(lead.followers) == 0 {
+		if lead.cancel != nil {
+			lead.cancel()
+		} else {
+			lead.canceled = true // still queued; the pool will skip it
 		}
 	}
 }
@@ -832,7 +1033,7 @@ func (s *Service) Stats() Stats {
 	queued := len(s.queue)
 	degraded := s.breakerOpen
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		SyncFailures:    s.syncFails.Load(),
 		BreakerTrips:    s.breakerTrips.Load(),
 		DegradedDropped: s.degradedDrop.Load(),
@@ -853,8 +1054,25 @@ func (s *Service) Stats() Stats {
 		Running:         int(s.running.Load()),
 		CacheEntries:    cacheLen,
 		Workers:         s.cfg.Workers,
+		DedupCoalesced:  s.dedupCoalesced.Load(),
+		AffinityHits:    s.affinityHits.Load(),
+		AffinityMisses:  s.affinityMisses.Load(),
 	}
+	if s.topo != nil {
+		ts := s.topo.Stats()
+		st.TopoCacheHits = ts.Hits
+		st.TopoCacheMisses = ts.Misses
+		st.TopoCacheCoalesced = ts.InflightCoalesced
+		st.TopoCacheEvictions = ts.Evictions
+		st.TopoCacheBytes = ts.ResidentBytes
+		st.TopoCacheEntries = ts.Entries
+	}
+	return st
 }
+
+// TopologyCache exposes the shared snapshot cache (nil when disabled) —
+// the benchmark harness and tests assert build counts through it.
+func (s *Service) TopologyCache() *topology.Cache { return s.topo }
 
 // Readiness is a point-in-time health verdict for load balancers and
 // probes: Ready means a Submit issued now would be accepted and a worker
@@ -961,30 +1179,49 @@ func (s *Service) Shutdown(ctx context.Context) error {
 }
 
 // worker is one pool goroutine: it pops jobs until the queue closes.
+// It keeps the graph fingerprint of the job it last ran: a match means
+// the next job compiles and runs against an already-resident snapshot
+// (SubmitBatch's fingerprint grouping exists to make that common), and
+// the hit/miss counters prove the grouping works.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	defer s.workersAlive.Add(-1)
+	last := ""
 	for e := range s.queue {
+		if key := e.compiled.Fingerprint; key != "" {
+			if key == last {
+				s.affinityHits.Add(1)
+			} else {
+				s.affinityMisses.Add(1)
+			}
+			last = key
+		} else {
+			last = ""
+		}
 		s.runOne(e)
 	}
 }
 
 // runOne executes a single job under its deadline, publishing progress
-// and finishing with exactly one terminal event.
+// and finishing with exactly one terminal event per attached member.
 func (s *Service) runOne(e *entry) {
 	s.mu.Lock()
 	if e.canceled {
-		// Canceled while queued: Cancel already made it terminal.
+		// Canceled while queued: Cancel already made it terminal (and
+		// detached any followers before setting the flag).
 		s.mu.Unlock()
+		e.compiled.ReleaseTopo()
 		return
 	}
 	if s.shutdown {
 		// Graceful shutdown is draining the channel, not the work: the
 		// job stays queued — in memory and in the log — for the next
-		// boot's Recover.
+		// boot's Recover. This process's snapshot pin is moot.
 		s.mu.Unlock()
+		e.compiled.ReleaseTopo()
 		return
 	}
+	now := time.Now()
 	ctx := context.Background()
 	var cancel context.CancelFunc
 	if s.cfg.JobTimeout > 0 {
@@ -993,12 +1230,21 @@ func (s *Service) runOne(e *entry) {
 		ctx, cancel = context.WithCancel(ctx)
 	}
 	e.cancel = cancel
-	e.state = StateRunning
-	e.started = time.Now()
+	if !e.detached {
+		// A detached leader's client already saw it end canceled; only
+		// the execution survives, so its visible state stays put.
+		e.state = StateRunning
+		e.started = now
+		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateRunning})
+	}
+	for _, f := range e.followers {
+		f.state = StateRunning
+		f.started = now
+		s.persist(store.Record{JobID: f.id, Hash: f.hash, State: store.StateRunning})
+	}
 	if s.durable() {
 		e.flush = make(chan struct{}, 1)
 	}
-	s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateRunning})
 	s.mu.Unlock()
 	defer cancel()
 
@@ -1016,6 +1262,21 @@ func (s *Service) runOne(e *entry) {
 		if round%every != 0 {
 			return
 		}
+		s.mu.Lock()
+		watched := len(e.subs) > 0
+		for _, f := range e.followers {
+			if len(f.subs) > 0 {
+				watched = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if !watched {
+			// The warm path of a sweep has no stream subscribers: skip
+			// the per-round output conversion (and its allocations)
+			// outright.
+			return
+		}
 		outputs, maxErr := job.Numeric(outs, e.compiled.Expected)
 		s.publish(e, Progress{
 			JobID:   e.id,
@@ -1030,51 +1291,74 @@ func (s *Service) runOne(e *entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e.cancel = nil
-	e.finished = time.Now()
-	switch {
-	case err == nil:
-		e.state = StateDone
-		e.result = res
-		s.cache.add(e.hash, res)
-		s.completed.Add(1)
-		expCompleted.Add(1)
-		if s.cfg.Store != nil {
-			raw, merr := json.Marshal(res)
-			if merr != nil {
-				raw = nil
+	s.settleLocked(e, res, err)
+	e.compiled.ReleaseTopo()
+}
+
+// settleLocked applies one finished execution to its leader and every
+// attached follower: one state transition per member, one result-cache
+// insert, one result payload in the log (the other members' done records
+// resolve through the shared hash). Members that went terminal early — a
+// canceled follower, a detached leader — are left untouched. Callers
+// hold s.mu.
+func (s *Service) settleLocked(e *entry, res *job.Result, err error) {
+	s.dropInflightLocked(e)
+	now := time.Now()
+	members := make([]*entry, 0, 1+len(e.followers))
+	members = append(members, e)
+	members = append(members, e.followers...)
+	resultPersisted := false
+	for _, m := range members {
+		if m.state.Terminal() {
+			continue
+		}
+		m.finished = now
+		switch {
+		case err == nil:
+			m.state = StateDone
+			m.result = res
+			s.completed.Add(1)
+			expCompleted.Add(1)
+			rec := store.Record{JobID: m.id, Hash: m.hash, State: store.StateDone}
+			if s.cfg.Store != nil && !resultPersisted {
+				if raw, merr := json.Marshal(res); merr == nil {
+					rec.Result = raw
+				}
+				resultPersisted = true
 			}
-			s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateDone, Result: raw})
-			s.cfg.Store.DropCheckpoints(e.hash)
+			s.persist(rec)
+		case errors.Is(err, engine.ErrInterrupted):
+			// Graceful shutdown flushed the engine to a checkpoint: the
+			// job is not terminal — it resumes (via Recover) on the next
+			// boot, and each interrupted follower resumes there as an
+			// independent job.
+			m.state = StateInterrupted
+			s.interrupted.Add(1)
+			expInterrupted.Add(1)
+			s.persist(store.Record{JobID: m.id, Hash: m.hash, State: store.StateInterrupted, Round: e.ckptRound})
+		case errors.Is(err, context.Canceled):
+			m.state = StateCanceled
+			s.canceled.Add(1)
+			expCanceled.Add(1)
+			s.persist(store.Record{JobID: m.id, Hash: m.hash, State: store.StateCanceled})
+		default:
+			m.state = StateFailed
+			m.err = err.Error()
+			s.failed.Add(1)
+			expFailed.Add(1)
+			s.persist(store.Record{JobID: m.id, Hash: m.hash, State: store.StateFailed, Error: m.err})
 		}
-	case errors.Is(err, engine.ErrInterrupted):
-		// Graceful shutdown flushed the engine to a checkpoint: the job is
-		// not terminal — it resumes (via Recover) on the next boot.
-		e.state = StateInterrupted
-		s.interrupted.Add(1)
-		expInterrupted.Add(1)
-		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateInterrupted, Round: e.ckptRound})
-	case errors.Is(err, context.Canceled):
-		e.state = StateCanceled
-		s.canceled.Add(1)
-		expCanceled.Add(1)
-		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateCanceled})
-		if s.cfg.Store != nil {
-			s.cfg.Store.DropCheckpoints(e.hash)
-		}
-	default:
-		e.state = StateFailed
-		e.err = err.Error()
-		s.failed.Add(1)
-		expFailed.Add(1)
-		s.persist(store.Record{JobID: e.id, Hash: e.hash, State: store.StateFailed, Error: e.err})
-		if s.cfg.Store != nil {
-			s.cfg.Store.DropCheckpoints(e.hash)
-		}
+		s.finishLocked(m)
 	}
-	if s.cfg.JobLatency != nil {
-		s.cfg.JobLatency.Observe(e.finished.Sub(e.started).Seconds())
+	if err == nil {
+		s.cache.add(e.hash, res)
 	}
-	s.finishLocked(e)
+	if s.cfg.Store != nil && !errors.Is(err, engine.ErrInterrupted) {
+		s.cfg.Store.DropCheckpoints(e.hash)
+	}
+	if s.cfg.JobLatency != nil && !e.started.IsZero() {
+		s.cfg.JobLatency.Observe(now.Sub(e.started).Seconds())
+	}
 }
 
 // execute runs one job through the configured runner with panic recovery
@@ -1165,13 +1449,25 @@ func (s *Service) checkpointConfig(e *entry) job.CheckpointConfig {
 	return ck
 }
 
-// publish fans an event out to e's subscribers, dropping events a slow
-// subscriber has no buffer for (the terminal event is handled by
-// finishLocked and never dropped silently: the channel close itself is
-// the durable signal).
+// publish fans an event out to e's subscribers — and, under its own job
+// ID, to every attached follower's — dropping events a slow subscriber
+// has no buffer for (the terminal event is handled by finishLocked and
+// never dropped silently: the channel close itself is the durable
+// signal).
 func (s *Service) publish(e *entry, ev Progress) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.publishLocked(e, ev)
+	for _, f := range e.followers {
+		fev := ev
+		fev.JobID = f.id
+		s.publishLocked(f, fev)
+	}
+}
+
+// publishLocked delivers one event to one entry's subscribers. Callers
+// hold s.mu.
+func (s *Service) publishLocked(e *entry, ev Progress) {
 	for ch := range e.subs {
 		select {
 		case ch <- ev:
@@ -1230,6 +1526,9 @@ func snapshot(e *entry) *Job {
 		CacheHit:  e.cacheHit,
 		Result:    e.result,
 		Submitted: e.submitted,
+	}
+	if e.leader != nil {
+		j.DedupOf = e.leader.id
 	}
 	if !e.started.IsZero() {
 		t := e.started

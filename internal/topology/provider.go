@@ -32,6 +32,18 @@ func RequireStrongConnectivity() Option {
 	return func(p *Provider) { p.requireSC = true }
 }
 
+// WithSharedSnapshot pre-seeds the provider with an immutable snapshot
+// built from g under the provider's kind — the process-wide cache entry of
+// the sweep fast path. Rounds whose graph is pointer-identical to g are
+// served snap with no validation, no build, and no pool traffic (the
+// shared snapshot is never recycled); any other round graph — churn
+// rewrites, pre-start filtered graphs, dynamic schedules — falls through
+// to the normal validate-and-build path. The caller owns snap's lifetime
+// and must keep it alive (cache-pinned) for as long as the provider runs.
+func WithSharedSnapshot(g *graph.Graph, snap *Snapshot) Option {
+	return func(p *Provider) { p.sharedFor, p.shared = g, snap }
+}
+
 // Provider turns a dynamic.Schedule into a stream of validated Snapshots,
 // one per round. It caches by pointer identity — schedules that return the
 // same *graph.Graph (dynamic.Static, and AsyncStart past the last start)
@@ -46,6 +58,9 @@ type Provider struct {
 
 	cur    *Snapshot
 	curFor *graph.Graph
+
+	shared    *Snapshot
+	sharedFor *graph.Graph
 
 	pool sync.Pool
 
@@ -77,6 +92,9 @@ func (p *Provider) Round(t int) (*Snapshot, error) {
 	g := p.schedule.At(t)
 	if g == nil {
 		return nil, fmt.Errorf("topology: schedule returned nil graph for round %d", t)
+	}
+	if g == p.sharedFor {
+		return p.shared, nil
 	}
 	if g == p.curFor {
 		return p.cur, nil
