@@ -1,7 +1,7 @@
 # Tier-1 verification and the race-checked service suite.
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz crash-recovery chaos bench benchreport run-daemon clean
+.PHONY: all build vet lint conformance test race fuzz crash-recovery chaos bench benchreport run-daemon clean
 
 all: build vet test
 
@@ -19,6 +19,13 @@ lint: vet
 	else \
 		echo "staticcheck not installed; ran go vet only"; \
 	fi
+	$(GO) test -count=1 -run 'TestRegistryComplete' ./internal/engine
+
+# The model-conformance gate: every registered communication model's
+# reference workload, byte-identical across the applicable engines, under
+# the race detector.
+conformance:
+	$(GO) test -race -count=1 -run 'Conformance|RegistryComplete' ./internal/engine
 
 test: build
 	$(GO) test ./...

@@ -106,12 +106,23 @@ type (
 	WitnessReport = core.WitnessReport
 )
 
-// The four communication models (§2.2).
+// The registered communication models: the paper's four (§2.2) plus the
+// registry-hosted one-bit broadcast model (σ : Q → {0,1}, after Blanc,
+// Di Luna & Viglietta).
 const (
 	SimpleBroadcast = model.SimpleBroadcast
 	OutdegreeAware  = model.OutdegreeAware
 	OutputPortAware = model.OutputPortAware
 	Symmetric       = model.Symmetric
+	OneBitBroadcast = model.OneBitBroadcast
+)
+
+// One-bit broadcast model surface.
+type (
+	// Bit is the message type of the one-bit broadcast model.
+	Bit = model.Bit
+	// BitSender is the one-bit model's sending interface (σ : Q → {0,1}).
+	BitSender = model.BitSender
 )
 
 // The centralized-help rows of Tables 1 and 2.
@@ -364,6 +375,23 @@ func ParseEngineKind(name string) (EngineKind, error) {
 	return 0, fmt.Errorf("anonnet: unknown engine %q (want %s)", name, engine.NamesList())
 }
 
+// ParseModelKind resolves a communication-model name — canonical short
+// name ("bc", "od", "op", "sym", "onebit"), paper name, or alias,
+// case-insensitively — to its Kind. The names come from the model
+// registry's single name table, shared with the job-spec "kind"/"model"
+// fields, the anonnetd /v1/batch model axis, and the anonsim -kind flag.
+func ParseModelKind(name string) (Kind, error) {
+	k, err := model.ParseKind(name)
+	if err != nil {
+		return 0, fmt.Errorf("anonnet: unknown model %q (want %s)", name, model.NamesList())
+	}
+	return k, nil
+}
+
+// ModelNames lists the registered communication models by canonical short
+// name, in registration order.
+func ModelNames() []string { return model.Names() }
+
 // Spec bundles what one Compute call executes: the algorithm (as an agent
 // factory), the network, the private inputs, and the communication model.
 type Spec struct {
@@ -380,6 +408,7 @@ type Spec struct {
 // computeConfig is the option-resolved execution tuning.
 type computeConfig struct {
 	engine      EngineKind
+	model       Kind
 	parallelism int
 	maxRounds   int
 	patience    int
@@ -395,6 +424,15 @@ type Option func(*computeConfig)
 // WithEngine selects the round engine (default Sequential).
 func WithEngine(e EngineKind) Option {
 	return func(c *computeConfig) { c.engine = e }
+}
+
+// WithModel overrides the Spec's communication model (when nonzero):
+// the option-driven way to sweep one Spec across models, mirroring how
+// WithEngine sweeps it across engines. The model must be registered and
+// the Spec's factory must build agents conforming to its sending
+// interface — Compute fails with an error naming both otherwise.
+func WithModel(k Kind) Option {
+	return func(c *computeConfig) { c.model = k }
 }
 
 // WithParallelism sets the engine's degree of parallelism (default: one
@@ -486,6 +524,9 @@ func Compute(ctx context.Context, spec Spec, opts ...Option) (*ComputeResult, er
 		Factory:  spec.Factory,
 		Seed:     cc.seed,
 		Starts:   cc.starts,
+	}
+	if cc.model != 0 {
+		cfg.Kind = cc.model
 	}
 	if !cc.faults.IsZero() {
 		inj, err := faults.NewInjector(cc.seed, *cc.faults)

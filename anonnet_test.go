@@ -267,7 +267,7 @@ func TestComputeWithFaults(t *testing.T) {
 		return res
 	}
 	seq := run(anonnet.WithEngine(anonnet.Sequential))
-	shd := run(anonnet.WithEngine(anonnet.Sharded), anonnet.WithShards(3))
+	shd := run(anonnet.WithEngine(anonnet.Sharded), anonnet.WithParallelism(3))
 	for i := range seq.Outputs {
 		if seq.Outputs[i] != shd.Outputs[i] {
 			t.Fatalf("faulted engines disagree at %d: %v vs %v", i, seq.Outputs[i], shd.Outputs[i])

@@ -285,10 +285,14 @@ type batchRequest struct {
 }
 
 // batchGrid sweeps a template: the batch is the cross product of the axes,
-// an omitted axis keeping the template's value.
+// an omitted axis keeping the template's value. The models axis names
+// communication models (any registered name or alias); each grid point
+// overrides the template's kind/model pair, so the model is sweepable
+// exactly like n and the seed.
 type batchGrid struct {
-	N     []int   `json:"n,omitempty"`
-	Seeds []int64 `json:"seeds,omitempty"`
+	N      []int    `json:"n,omitempty"`
+	Seeds  []int64  `json:"seeds,omitempty"`
+	Models []string `json:"models,omitempty"`
 }
 
 // expand materializes the request's spec list.
@@ -304,13 +308,24 @@ func (br *batchRequest) expand() ([]job.Spec, error) {
 	}
 	ns := br.Grid.axisN(br.Template.Graph.N)
 	seeds := br.Grid.axisSeeds(br.Template.Seed)
-	specs := make([]job.Spec, 0, len(ns)*len(seeds))
+	models := br.Grid.axisModels()
+	specs := make([]job.Spec, 0, len(ns)*len(seeds)*len(models))
 	for _, n := range ns {
 		for _, seed := range seeds {
-			sp := *br.Template
-			sp.Graph.N = n
-			sp.Seed = seed
-			specs = append(specs, sp)
+			for _, m := range models {
+				sp := *br.Template
+				sp.Graph.N = n
+				sp.Seed = seed
+				if m != "" {
+					// The axis entry replaces the template's model; spec
+					// canonicalization validates the name and folds model
+					// back into kind, so the dedup/fingerprint machinery
+					// sees the same canonical form either way.
+					sp.Kind = ""
+					sp.Model = m
+				}
+				specs = append(specs, sp)
+			}
 		}
 	}
 	return specs, nil
@@ -328,6 +343,15 @@ func (g *batchGrid) axisSeeds(fallback int64) []int64 {
 		return []int64{fallback}
 	}
 	return g.Seeds
+}
+
+// axisModels returns the model axis, or the one-element "keep the
+// template's model" axis when absent.
+func (g *batchGrid) axisModels() []string {
+	if g == nil || len(g.Models) == 0 {
+		return []string{""}
+	}
+	return g.Models
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {

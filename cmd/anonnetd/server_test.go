@@ -341,6 +341,75 @@ func TestEndToEndBatch(t *testing.T) {
 	}
 }
 
+// TestBatchModelAxis covers the sweep grid's model axis: the registry's
+// canonical names are sweepable alongside sizes and seeds, the expansion
+// crosses them, and a one-bit member runs to completion next to the
+// broadcast members.
+func TestBatchModelAxis(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+	body := `{
+	  "template": {
+	    "graph": {"builder": "ring", "n": 6},
+	    "kind": "bc", "function": "max"
+	  },
+	  "grid": {"models": ["bc", "onebit"], "seeds": [1, 2]}
+	}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b service.Batch
+	decErr := json.NewDecoder(resp.Body).Decode(&b)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decErr != nil {
+		t.Fatalf("POST /v1/batch → %d (%v)", resp.StatusCode, decErr)
+	}
+	if len(b.Jobs) != 4 {
+		t.Fatalf("grid expanded to %d jobs, want 4 (2 models × 2 seeds)", len(b.Jobs))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/batch/" + b.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got service.Batch
+		decErr := json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			t.Fatalf("GET /v1/batch/%s → %d (%v)", b.ID, resp.StatusCode, decErr)
+		}
+		if got.Done == len(got.Jobs) {
+			if got.Failed != 0 {
+				t.Fatalf("model-axis batch failed: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("model-axis batch never finished: %d/%d", got.Done, len(got.Jobs))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// An unknown model in the axis rejects the whole batch up front.
+	bad := `{
+	  "template": {"graph": {"builder": "ring", "n": 6}, "kind": "bc", "function": "max"},
+	  "grid": {"models": ["bc", "telepathy"]}
+	}`
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p struct {
+		Code   string `json:"code"`
+		Detail string `json:"detail"`
+	}
+	decErr = json.NewDecoder(resp.Body).Decode(&p)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || decErr != nil || p.Code != "invalid_spec" {
+		t.Fatalf("unknown model axis → %d code %q (%v)", resp.StatusCode, p.Code, decErr)
+	}
+}
+
 // TestUnversionedAliases pins the pre-versioning paths to 301 redirects
 // onto /v1/, query string preserved.
 func TestUnversionedAliases(t *testing.T) {

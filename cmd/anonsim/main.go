@@ -37,7 +37,7 @@ func main() {
 func run() error {
 	var (
 		graphSpec  = flag.String("graph", "ring:6", "network: ring:N, bidiring:N, star:N, path:N, complete:N, hypercube:D, debruijn:K.D, torus:R.C, random:N, randomsym:N, geometric:N, splitring:N, randomdyn:N, pairwise:N")
-		kindFlag   = flag.String("kind", "od", "communication model: bc, od, op, sym")
+		kindFlag   = flag.String("kind", "od", "communication model: "+strings.Join(model.Names(), ", "))
 		funcFlag   = flag.String("func", "average", "function: one of the catalog names (average, max, min, sum, count, mode, median, …)")
 		valuesFlag = flag.String("values", "", "comma-separated input values (default 1..n)")
 		rowFlag    = flag.String("row", "nohelp", "centralized help: nohelp, bound, size, leader")
@@ -76,11 +76,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	desc, err := model.Lookup(kind)
+	if err != nil {
+		return err
+	}
 	f, err := lookupFunc(*funcFlag)
 	if err != nil {
 		return err
 	}
-	inputs, err := parseInputs(*valuesFlag, n)
+	inputs, err := parseInputs(*valuesFlag, n, desc.BinaryInputs)
 	if err != nil {
 		return err
 	}
@@ -117,7 +121,7 @@ func run() error {
 		Stall: *stallP, Crash: *crashP,
 	}
 	if *churnP > 0 {
-		if kind == model.OutputPortAware {
+		if desc, err := model.Lookup(kind); err == nil && desc.RequirePorts {
 			return fmt.Errorf("link churn cannot preserve the output-port labelling; use -kind bc, od, or sym")
 		}
 		plan.Churn = &faults.ChurnPlan{Drop: *churnP, Guard: *guard}
@@ -199,19 +203,15 @@ func expectedValue(f funcs.Func, inputs []model.Input) float64 {
 	return f.FromVector(vals)
 }
 
+// parseKind resolves the -kind flag through the model registry, so every
+// registered model — including registry-hosted extensions like onebit —
+// and every alias is accepted, and the rejection lists what is.
 func parseKind(s string) (model.Kind, error) {
-	switch strings.ToLower(s) {
-	case "bc", "broadcast":
-		return model.SimpleBroadcast, nil
-	case "od", "outdegree":
-		return model.OutdegreeAware, nil
-	case "op", "port", "ports":
-		return model.OutputPortAware, nil
-	case "sym", "symmetric":
-		return model.Symmetric, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q (want bc, od, op, or sym)", s)
+	k, err := model.ParseKind(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown model %q (want %s)", s, model.NamesList())
 	}
+	return k, nil
 }
 
 func parseRow(s string) (core.Row, error) {
@@ -246,8 +246,11 @@ func catalogNames() string {
 	return strings.Join(names, ", ")
 }
 
-func parseInputs(s string, n int) ([]model.Input, error) {
+func parseInputs(s string, n int, binary bool) ([]model.Input, error) {
 	if s == "" {
+		if binary {
+			return anonnet.Inputs(alternating(n)...), nil
+		}
 		return anonnet.Inputs(linear(n)...), nil
 	}
 	parts := strings.Split(s, ",")
@@ -260,6 +263,9 @@ func parseInputs(s string, n int) ([]model.Input, error) {
 		if err != nil {
 			return nil, fmt.Errorf("value %d: %v", i, err)
 		}
+		if binary && v != 0 && v != 1 {
+			return nil, fmt.Errorf("value %d is %v; this model's reference algorithms take binary inputs (0 or 1)", i, v)
+		}
 		vals[i] = v
 	}
 	return anonnet.Inputs(vals...), nil
@@ -269,6 +275,14 @@ func linear(n int) []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+func alternating(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i % 2)
 	}
 	return out
 }

@@ -53,19 +53,40 @@ func TestLookupFunc(t *testing.T) {
 }
 
 func TestParseInputs(t *testing.T) {
-	in, err := parseInputs("1, 2.5,3", 3)
+	in, err := parseInputs("1, 2.5,3", 3, false)
 	if err != nil || len(in) != 3 || in[1].Value != 2.5 {
 		t.Fatalf("parseInputs = %v, %v", in, err)
 	}
-	def, err := parseInputs("", 4)
+	def, err := parseInputs("", 4, false)
 	if err != nil || len(def) != 4 || def[3].Value != 4 {
 		t.Fatalf("default inputs = %v, %v", def, err)
 	}
-	if _, err := parseInputs("1,2", 3); err == nil {
+	if _, err := parseInputs("1,2", 3, false); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if _, err := parseInputs("1,x,3", 3); err == nil {
+	if _, err := parseInputs("1,x,3", 3, false); err == nil {
 		t.Error("non-numeric value accepted")
+	}
+	// Binary models default to the alternating 0/1 pattern and reject
+	// out-of-alphabet values.
+	bin, err := parseInputs("", 4, true)
+	if err != nil || len(bin) != 4 || bin[0].Value != 0 || bin[1].Value != 1 {
+		t.Fatalf("binary default inputs = %v, %v", bin, err)
+	}
+	if _, err := parseInputs("1,0,1", 3, true); err != nil {
+		t.Errorf("binary values rejected: %v", err)
+	}
+	if _, err := parseInputs("1,2,0", 3, true); err == nil {
+		t.Error("non-binary value accepted under a binary-input model")
+	}
+}
+
+func TestParseKindOneBit(t *testing.T) {
+	for _, name := range []string{"onebit", "ONEBIT", "one-bit broadcast"} {
+		got, err := parseKind(name)
+		if err != nil || got != model.OneBitBroadcast {
+			t.Errorf("parseKind(%q) = %v, %v; want OneBitBroadcast", name, got, err)
+		}
 	}
 }
 

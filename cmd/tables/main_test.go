@@ -21,13 +21,13 @@ func TestRepresentativeCoversClasses(t *testing.T) {
 }
 
 func TestInputsForMarksLeaderOnlyWhenAsked(t *testing.T) {
-	plain := inputsFor(6, core.RowNoHelp)
+	plain := inputsFor(model.OutdegreeAware, 6, core.RowNoHelp)
 	for i, in := range plain {
 		if in.Leader {
 			t.Fatalf("agent %d marked leader without the leader row", i)
 		}
 	}
-	withLeader := inputsFor(6, core.RowLeader)
+	withLeader := inputsFor(model.OutdegreeAware, 6, core.RowLeader)
 	if !withLeader[0].Leader {
 		t.Fatal("leader row did not mark agent 0")
 	}
@@ -43,12 +43,24 @@ func TestInputsForMarksLeaderOnlyWhenAsked(t *testing.T) {
 }
 
 func TestExpectedMatchesFunction(t *testing.T) {
-	in := inputsFor(6, core.RowNoHelp) // values 1,2,2,1,2,2
+	in := inputsFor(model.OutdegreeAware, 6, core.RowNoHelp) // values 1,2,2,1,2,2
 	if got := expected(funcs.Sum(), in); got != 10 {
 		t.Fatalf("expected sum = %v, want 10", got)
 	}
 	if got := expected(funcs.Max(), in); got != 2 {
 		t.Fatalf("expected max = %v, want 2", got)
+	}
+}
+
+func TestInputsForBinaryModels(t *testing.T) {
+	in := inputsFor(model.OneBitBroadcast, 6, core.RowNoHelp) // values 1,0,0,1,0,0
+	for i, input := range in {
+		if input.Value != 0 && input.Value != 1 {
+			t.Fatalf("agent %d got non-binary input %v under onebit", i, input.Value)
+		}
+	}
+	if got := expected(funcs.Max(), in); got != 1 {
+		t.Fatalf("expected max = %v, want 1", got)
 	}
 }
 

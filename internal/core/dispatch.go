@@ -6,6 +6,7 @@ import (
 	"anonnet/internal/algorithms/freqcalc"
 	"anonnet/internal/algorithms/gossip"
 	"anonnet/internal/algorithms/metropolis"
+	"anonnet/internal/algorithms/onebit"
 	"anonnet/internal/algorithms/pushsum"
 	"anonnet/internal/funcs"
 	"anonnet/internal/model"
@@ -31,8 +32,9 @@ type Setting struct {
 }
 
 func (s Setting) validate() error {
-	if !s.Kind.Valid() {
-		return fmt.Errorf("core: invalid model kind %d", int(s.Kind))
+	desc, err := model.Lookup(s.Kind)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	switch s.Row {
 	case RowNoHelp:
@@ -51,8 +53,8 @@ func (s Setting) validate() error {
 	default:
 		return fmt.Errorf("core: invalid row %d", int(s.Row))
 	}
-	if !s.Static && s.Kind == model.OutputPortAware {
-		return fmt.Errorf("core: output port awareness is only meaningful for static networks (§2.2)")
+	if !s.Static && desc.StaticOnly {
+		return fmt.Errorf("core: %s is only meaningful for static networks (§2.2)", desc.Name)
 	}
 	return nil
 }
@@ -69,6 +71,8 @@ func (s Setting) Cell() Cell {
 // setting's positive cell:
 //
 //   - simple broadcast (any network): gossip, for set-based f;
+//   - one-bit broadcast (any network, binary inputs): the alternating
+//     OR/AND parity-flooding algorithm (onebit), for set-based f;
 //   - static od/op/symmetric: the minimum-base + kernel pipeline of §4.2
 //     (freqcalc), exact in finite time, multiset-based with size/leaders;
 //   - dynamic outdegree awareness: Push-Sum (Algorithm 1), with the §5.4
@@ -106,6 +110,8 @@ func NewFactory(f funcs.Func, s Setting) (model.Factory, error) {
 	switch {
 	case s.Kind == model.SimpleBroadcast:
 		return gossip.NewFactory(f)
+	case s.Kind == model.OneBitBroadcast:
+		return onebit.NewFactory(f)
 	case s.Static:
 		return freqcalc.NewFactory(s.Kind, f, freqcalc.Help{BoundN: boundN, KnownN: knownN, Leaders: leaders})
 	case s.Kind == model.OutdegreeAware:

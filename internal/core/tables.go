@@ -79,6 +79,14 @@ func (c Cell) String() string {
 // StaticCell returns Table 1's entry for the given model and help row:
 // computable functions in static, strongly connected anonymous networks.
 func StaticCell(kind model.Kind, row Row) Cell {
+	if kind == model.OneBitBroadcast {
+		// One bit per round is syntactically a restriction of simple
+		// broadcast (σ : Q → {0,1} ⊆ σ : Q → M), so the simple-broadcast
+		// ceiling applies a fortiori; over binary inputs the set-based
+		// class is attained by parity flooding (the positive half realized
+		// by internal/algorithms/onebit).
+		return Cell{Class: funcs.SetBased, Source: "Blanc, Di Luna & Viglietta (one-bit; binary inputs)"}
+	}
 	if kind == model.SimpleBroadcast {
 		switch row {
 		case RowNoHelp:
@@ -121,6 +129,11 @@ func DynamicCell(kind model.Kind, row Row) Cell {
 	switch kind {
 	case model.SimpleBroadcast:
 		return Cell{Class: funcs.SetBased, Source: "Hendrickx et al. [20]"}
+	case model.OneBitBroadcast:
+		// As in Table 1: the simple-broadcast ceiling inherits downward to
+		// the one-bit restriction, and parity flooding attains it over
+		// binary inputs in any dynamic network of finite dynamic diameter.
+		return Cell{Class: funcs.SetBased, Source: "Blanc, Di Luna & Viglietta (one-bit; binary inputs)"}
 	case model.OutdegreeAware, model.OutputPortAware:
 		switch row {
 		case RowNoHelp:

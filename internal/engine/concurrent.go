@@ -87,7 +87,7 @@ func (c *Concurrent) worker(i int) {
 	for req := range c.reqs[i] {
 		switch req.phase {
 		case phaseSend:
-			msgs, err := safeSendInto(c.agents[i], c.cfg.Kind, i, req.outdeg, req.buf)
+			msgs, err := safeSendInto(c.desc.Plan, c.agents[i], i, req.outdeg, req.buf)
 			c.resps[i] <- workerResp{msgs: msgs, err: err}
 		case phaseReceive:
 			c.resps[i] <- workerResp{err: safeReceive(c.agents[i], i, req.inbox)}
@@ -104,14 +104,20 @@ func (c *Concurrent) worker(i int) {
 	}
 }
 
-// safeSendInto is sendPhaseInto with agent panics recovered into errors.
-func safeSendInto(a model.Agent, kind model.Kind, idx, outdeg int, buf []model.Message) (msgs []model.Message, err error) {
+// safeSendInto applies the model's registered SendPlan with agent panics
+// recovered into errors — the worker-goroutine face of the core's one
+// dispatch site.
+func safeSendInto(plan model.SendPlan, a model.Agent, idx, outdeg int, buf []model.Message) (msgs []model.Message, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			msgs, err = nil, fmt.Errorf("engine: agent %d panicked in send: %v", idx, r)
 		}
 	}()
-	return sendPhaseInto(a, kind, idx, outdeg, buf)
+	msgs, err = plan(a, outdeg, buf)
+	if err != nil {
+		return nil, fmt.Errorf("engine: agent %d: %w", idx, err)
+	}
+	return msgs, nil
 }
 
 // safeReceive applies the transition function with panics recovered.

@@ -65,8 +65,8 @@ func (c *Config) validate() error {
 	if c.Schedule == nil {
 		return fmt.Errorf("engine: nil schedule")
 	}
-	if !c.Kind.Valid() {
-		return fmt.Errorf("engine: invalid model kind %d", int(c.Kind))
+	if _, err := model.Lookup(c.Kind); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	if c.Factory == nil {
 		return fmt.Errorf("engine: nil agent factory")
@@ -113,6 +113,7 @@ type executor interface {
 type core struct {
 	cfg    Config
 	name   string // runner name, for error messages
+	desc   *model.Descriptor
 	topo   *topology.Provider
 	agents []model.Agent
 	round  int
@@ -145,6 +146,10 @@ func newCore(cfg Config, name string) (*core, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	desc, err := model.Lookup(cfg.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	schedule := cfg.Schedule
 	if cfg.Starts != nil {
 		wrapped, err := dynamic.NewAsyncStart(schedule, cfg.Starts)
@@ -160,8 +165,11 @@ func newCore(cfg Config, name string) (*core, error) {
 			return nil, fmt.Errorf("engine: factory returned nil agent for input %d", i)
 		}
 	}
-	if err := checkAgentKinds(agents, cfg.Kind); err != nil {
-		return nil, err
+	for i, a := range agents {
+		if !desc.Conforms(a) {
+			return nil, fmt.Errorf("engine: agent %d (%T) does not implement %s, the sender interface of the %s model (registered models: %s)",
+				i, a, desc.Iface, desc.Name, model.NamesList())
+		}
 	}
 	n := len(agents)
 	src := newCountingSource(cfg.Seed)
@@ -172,6 +180,7 @@ func newCore(cfg Config, name string) (*core, error) {
 	c := &core{
 		cfg:     cfg,
 		name:    name,
+		desc:    desc,
 		topo:    topology.NewProvider(schedule, cfg.Kind, topoOpts...),
 		agents:  agents,
 		rng:     rand.New(src),
@@ -190,24 +199,6 @@ func newCore(cfg Config, name string) (*core, error) {
 		}
 	}
 	return c, nil
-}
-
-func checkAgentKinds(agents []model.Agent, kind model.Kind) error {
-	for i, a := range agents {
-		var ok bool
-		switch kind {
-		case model.SimpleBroadcast, model.Symmetric:
-			_, ok = a.(model.Broadcaster)
-		case model.OutdegreeAware:
-			_, ok = a.(model.OutdegreeSender)
-		case model.OutputPortAware:
-			_, ok = a.(model.PortSender)
-		}
-		if !ok {
-			return fmt.Errorf("engine: agent %d (%T) does not implement the sender interface of %v", i, a, kind)
-		}
-	}
-	return nil
 }
 
 // step executes one round through the shared pipeline: restart, activity
@@ -260,16 +251,18 @@ func (c *core) restartAll(t int) error {
 }
 
 // sendRange drives the sending functions of agents [lo, hi) into the
-// reused per-agent sent buffers.
+// reused per-agent sent buffers. The call through c.desc.Plan is the
+// engines' ONE model-dispatch site: every registered model's σ enters the
+// round pipeline here, and nowhere else.
 func (c *core) sendRange(snap *topology.Snapshot, lo, hi int) error {
 	for i := lo; i < hi; i++ {
 		if !c.active[i] {
 			c.sent[i] = c.sent[i][:0]
 			continue
 		}
-		msgs, err := sendPhaseInto(c.agents[i], c.cfg.Kind, i, snap.OutDegree(i), c.sent[i])
+		msgs, err := c.desc.Plan(c.agents[i], snap.OutDegree(i), c.sent[i])
 		if err != nil {
-			return err
+			return fmt.Errorf("engine: agent %d: %w", i, err)
 		}
 		c.sent[i] = msgs
 	}
@@ -394,38 +387,6 @@ func (c *core) Corrupt(junk int64) int {
 // resources to release (worker goroutines) override it.
 func (c *core) Close() {
 	c.closed = true
-}
-
-// sendPhaseInto applies the model's sending function with a
-// caller-provided buffer for the single-message models, avoiding a
-// per-agent-per-round allocation.
-func sendPhaseInto(a model.Agent, kind model.Kind, idx, outdeg int, buf []model.Message) ([]model.Message, error) {
-	switch kind {
-	case model.SimpleBroadcast, model.Symmetric:
-		b, ok := a.(model.Broadcaster)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not a Broadcaster", idx, a)
-		}
-		return append(buf[:0], b.Send()), nil
-	case model.OutdegreeAware:
-		sd, ok := a.(model.OutdegreeSender)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not an OutdegreeSender", idx, a)
-		}
-		return append(buf[:0], sd.SendOutdegree(outdeg)), nil
-	case model.OutputPortAware:
-		sp, ok := a.(model.PortSender)
-		if !ok {
-			return nil, fmt.Errorf("engine: agent %d (%T) is not a PortSender", idx, a)
-		}
-		msgs := sp.SendPorts(outdeg)
-		if len(msgs) != outdeg {
-			return nil, fmt.Errorf("engine: agent %d returned %d port messages, want %d", idx, len(msgs), outdeg)
-		}
-		return msgs, nil
-	default:
-		return nil, fmt.Errorf("engine: invalid model kind %d", int(kind))
-	}
 }
 
 // shuffleMessages randomizes delivery order so agents cannot rely on any

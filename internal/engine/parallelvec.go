@@ -172,7 +172,7 @@ func (p *ParallelVec) runPhase(k, lo, hi int, req pvReq) {
 	case pvSend:
 		for i := lo; i < hi; i++ {
 			if p.active[i] {
-				p.vecs[i].SendVector(req.snap.OutDegree(i), p.rows[i*w:(i+1)*w:(i+1)*w])
+				p.desc.VecSend(p.vecs[i], req.snap.OutDegree(i), p.rows[i*w:(i+1)*w:(i+1)*w])
 			}
 		}
 	case pvGather:

@@ -95,8 +95,8 @@ func newVecCore(cfg Config, name string) (*core, []model.VectorAgent, int, []flo
 	if err := cfg.validate(); err != nil {
 		return nil, nil, 0, nil, err
 	}
-	if cfg.Kind == model.OutputPortAware {
-		return nil, nil, 0, nil, fmt.Errorf("%w: the output-port model sends one message per port, not one fixed-width vector", ErrNotVectorizable)
+	if desc, err := model.Lookup(cfg.Kind); err == nil && desc.VecSend == nil {
+		return nil, nil, 0, nil, fmt.Errorf("%w: the %s model's sending function has no fixed-width vector form", ErrNotVectorizable, desc.Name)
 	}
 	core, err := newCore(cfg, name)
 	if err != nil {
@@ -130,7 +130,10 @@ func newVecCore(cfg Config, name string) (*core, []model.VectorAgent, int, []flo
 // mis-selects: algorithms whose agents do not implement model.VectorAgent,
 // or whose variant declines vectorization, report false.
 func CanVectorize(cfg Config) bool {
-	if cfg.validate() != nil || cfg.Kind == model.OutputPortAware || len(cfg.Inputs) == 0 {
+	if cfg.validate() != nil || len(cfg.Inputs) == 0 {
+		return false
+	}
+	if desc, err := model.Lookup(cfg.Kind); err != nil || desc.VecSend == nil {
 		return false
 	}
 	a := cfg.Factory(cfg.Inputs[0])
@@ -202,12 +205,13 @@ func restartVecAgents(c *core, t int, vecs []model.VectorAgent, universe []float
 	return nil
 }
 
-// send has each active agent write its row of the flat rows buffer.
+// send has each active agent write its row of the flat rows buffer,
+// through the model's registered vectorization hook.
 func (v *Vectorized) send(t int, snap *topology.Snapshot) error {
 	w := v.width
 	for i, va := range v.vecs {
 		if v.active[i] {
-			va.SendVector(snap.OutDegree(i), v.rows[i*w:(i+1)*w:(i+1)*w])
+			v.desc.VecSend(va, snap.OutDegree(i), v.rows[i*w:(i+1)*w:(i+1)*w])
 		}
 	}
 	return nil

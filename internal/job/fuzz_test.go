@@ -3,6 +3,8 @@ package job
 import (
 	"errors"
 	"testing"
+
+	"anonnet/internal/model"
 )
 
 // FuzzSpecCodec checks the JSON codec's safety properties, in the style of
@@ -70,6 +72,71 @@ func FuzzSpecCodec(f *testing.F) {
 		h3, err := back.Hash()
 		if err != nil || h3 != h1 {
 			t.Fatalf("encode/decode changed the hash: %q vs %q (%v)", h1, h3, err)
+		}
+	})
+}
+
+// FuzzModelField fuzzes the two spellings of the communication model
+// (the original "kind" field and the v6 "model" field) together with the
+// declared schema version: parsing never panics, rejections are typed,
+// and every accepted spec canonicalizes to a registered kind whose hash
+// is stable under re-spelling through the model field.
+func FuzzModelField(f *testing.F) {
+	seeds := []struct {
+		kind, model string
+		version     int
+	}{
+		{"od", "", 0},
+		{"", "onebit", 6},
+		{"", "outdegree awareness", 6},
+		{"ONEBIT", "", 0},
+		{"telepathy", "", 6},
+		{"od", "bc", 6},
+		{"", "one-bit broadcast", 5},
+		{" sym ", "", 0},
+		{"", "", 0},
+	}
+	for _, s := range seeds {
+		f.Add(s.kind, s.model, s.version)
+	}
+	f.Fuzz(func(t *testing.T, kindName, modelName string, version int) {
+		s := Spec{
+			SchemaVersion: version,
+			Graph:         GraphSpec{Builder: "ring", N: 4},
+			Kind:          kindName,
+			Model:         modelName,
+			Function:      "max",
+		}
+		c, err := s.Canonical()
+		if err != nil {
+			assertTyped(t, err)
+			return
+		}
+		// The canonical form always spells the model through kind.
+		if c.Model != "" {
+			t.Fatalf("canonical form kept model=%q", c.Model)
+		}
+		if _, err := model.ParseKind(c.Kind); err != nil {
+			t.Fatalf("canonical kind %q is not registered: %v", c.Kind, err)
+		}
+		h1, err := c.Hash()
+		if err != nil {
+			t.Fatalf("canonical spec failed to hash: %v", err)
+		}
+		// Re-spelling the canonical kind through the model field (at a
+		// version that allows it) must not move the hash: both spellings
+		// share one cache entry.
+		alt := s
+		alt.Kind, alt.Model = "", c.Kind
+		if alt.SchemaVersion >= 1 && alt.SchemaVersion <= 5 {
+			alt.SchemaVersion = SpecSchemaVersion
+		}
+		h2, err := alt.Hash()
+		if err != nil {
+			t.Fatalf("model-field respelling of accepted spec rejected: %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("model-field respelling moved the hash: %q vs %q", h1, h2)
 		}
 	})
 }

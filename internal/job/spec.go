@@ -83,8 +83,12 @@ type GraphSpec struct {
 // selectors; version 3 adds the faults block; version 4 adds the "vec"
 // engine (the vectorized kernel); version 5 makes shards engine-agnostic
 // parallelism — legal with engine "vec" too, selecting the parallel
-// vectorized kernel. Specs omitting schema_version are version 1.
-const SpecSchemaVersion = 5
+// vectorized kernel; version 6 adds the "model" field (a synonym of
+// "kind" resolved through the model registry, accepting every registered
+// name and alias) and with it the registry-hosted models beyond the
+// paper's four, starting with "onebit". Specs omitting schema_version are
+// version 1.
+const SpecSchemaVersion = 6
 
 // Spec is one simulation job. The zero value is invalid; Canonical
 // validates and normalizes.
@@ -96,9 +100,16 @@ type Spec struct {
 	SchemaVersion int `json:"schema_version,omitempty"`
 	// Graph names the network.
 	Graph GraphSpec `json:"graph"`
-	// Kind is the communication model: bc, od, op, or sym (anonsim's
-	// aliases are accepted and normalized).
-	Kind string `json:"kind"`
+	// Kind is the communication model by canonical short name: bc, od, op,
+	// sym, or onebit (every name and alias registered in the model
+	// registry is accepted and normalized). The canonical form always
+	// carries Kind, so pre-v6 specs hash unchanged.
+	Kind string `json:"kind,omitempty"`
+	// Model is the schema_version ≥ 6 spelling of the communication model,
+	// a synonym of Kind (exactly one of the two may be set). It exists so
+	// sweep grids can treat the model as an axis with a self-describing
+	// name; the canonical form folds it into Kind.
+	Model string `json:"model,omitempty"`
 	// Row is the centralized-help row: nohelp (default), bound, size, or
 	// leader.
 	Row string `json:"row,omitempty"`
@@ -258,19 +269,16 @@ func builderNames() string {
 	return strings.Join(names, ", ")
 }
 
+// parseKind resolves a model name through the model registry, returning
+// the Kind and the canonical short name. Every registered name and alias
+// is accepted; the rejection lists the registered models, like the
+// unknown-engine error does for engine names.
 func parseKind(s string) (model.Kind, string, *Error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "bc", "broadcast":
-		return model.SimpleBroadcast, "bc", nil
-	case "od", "outdegree":
-		return model.OutdegreeAware, "od", nil
-	case "op", "port", "ports":
-		return model.OutputPortAware, "op", nil
-	case "sym", "symmetric":
-		return model.Symmetric, "sym", nil
-	default:
-		return 0, "", errf("kind", "unknown model %q (want bc, od, op, or sym)", s)
+	d, ok := model.Parse(s)
+	if !ok {
+		return 0, "", errf("kind", "unknown model %q (want %s)", s, model.NamesList())
 	}
+	return d.Kind, d.Canon, nil
 }
 
 func parseRow(s string) (core.Row, string, *Error) {
@@ -425,12 +433,31 @@ func (s Spec) Canonical() (Spec, error) {
 		}
 	}
 
-	kind, kindName, verr := parseKind(s.Kind)
-	if verr != nil {
-		return Spec{}, verr
+	// Communication model: the original "kind" field and the v6 "model"
+	// field are synonyms resolved through the model registry. The canonical
+	// form always carries the canonical short name in Kind and clears
+	// Model, so a v6 spec naming the model hashes — and caches —
+	// identically to the pre-v6 spec meaning the same thing.
+	modelField, modelName := "kind", s.Kind
+	if strings.TrimSpace(s.Model) != "" {
+		if s.SchemaVersion >= 1 && s.SchemaVersion <= 5 {
+			return Spec{}, errf("model", "the model field needs schema_version ≥ 6; use kind")
+		}
+		if strings.TrimSpace(s.Kind) != "" {
+			return Spec{}, errf("model", "kind and model are mutually exclusive; set exactly one")
+		}
+		modelField, modelName = "model", s.Model
 	}
-	c.Kind = kindName
-	if kind == model.OutputPortAware && c.Faults != nil && c.Faults.Churn != nil {
+	desc, ok := model.Parse(modelName)
+	if !ok {
+		return Spec{}, errf(modelField, "unknown model %q (want %s)", modelName, model.NamesList())
+	}
+	if s.SchemaVersion >= 1 && s.SchemaVersion < desc.MinSpecSchema {
+		return Spec{}, errf(modelField, "model %q needs schema_version ≥ %d", desc.Canon, desc.MinSpecSchema)
+	}
+	c.Kind = desc.Canon
+	c.Model = ""
+	if desc.RequirePorts && c.Faults != nil && c.Faults.Churn != nil {
 		return Spec{}, errf("faults.churn", "link churn cannot preserve the output-port labelling; use kind bc, od, or sym")
 	}
 
@@ -451,8 +478,8 @@ func (s Spec) Canonical() (Spec, error) {
 		// A dynamic builder is always a Table 2 setting; record it.
 		c.Dynamic = true
 	}
-	if kind == model.OutputPortAware && !static {
-		return Spec{}, errf("kind", "output port awareness is only meaningful for static networks")
+	if desc.StaticOnly && !static {
+		return Spec{}, errf(modelField, "%s is only meaningful for static networks", desc.Name)
 	}
 
 	switch row {
@@ -490,7 +517,11 @@ func (s Spec) Canonical() (Spec, error) {
 	if len(s.Values) == 0 {
 		c.Values = make([]float64, n)
 		for i := range c.Values {
-			c.Values[i] = float64(i + 1)
+			if desc.BinaryInputs {
+				c.Values[i] = float64(i % 2)
+			} else {
+				c.Values[i] = float64(i + 1)
+			}
 		}
 	} else {
 		if len(s.Values) != n {
@@ -499,6 +530,9 @@ func (s Spec) Canonical() (Spec, error) {
 		for i, v := range s.Values {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return Spec{}, errf("values", "value %d is %v; inputs must be finite", i, v)
+			}
+			if desc.BinaryInputs && v != 0 && v != 1 {
+				return Spec{}, errf("values", "value %d is %v; the %s model's reference algorithms take binary inputs (0 or 1)", i, v, desc.Name)
 			}
 		}
 		c.Values = append([]float64(nil), s.Values...)

@@ -363,6 +363,11 @@ func TestValidationErrors(t *testing.T) {
 		{"shards out of range", Spec{Engine: "shard", Shards: MaxAgents + 1, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
 		{"vec before v4", Spec{SchemaVersion: 3, Engine: "vec", Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "engine"},
 		{"vec with shards before v5", Spec{SchemaVersion: 4, Engine: "vec", Shards: 2, Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "od", Function: "average"}, "shards"},
+		{"model before v6", Spec{SchemaVersion: 5, Model: "od", Graph: GraphSpec{Builder: "ring", N: 4}, Function: "average"}, "model"},
+		{"kind and model", Spec{Kind: "od", Model: "bc", Graph: GraphSpec{Builder: "ring", N: 4}, Function: "average"}, "model"},
+		{"unknown model", Spec{SchemaVersion: 6, Model: "telepathy", Graph: GraphSpec{Builder: "ring", N: 4}, Function: "average"}, "model"},
+		{"onebit before v6", Spec{SchemaVersion: 5, Kind: "onebit", Graph: GraphSpec{Builder: "ring", N: 4}, Function: "max"}, "kind"},
+		{"onebit nonbinary values", Spec{Kind: "onebit", Graph: GraphSpec{Builder: "ring", N: 4}, Function: "max", Values: []float64{1, 2, 0, 1}}, "values"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -375,6 +380,90 @@ func TestValidationErrors(t *testing.T) {
 				t.Fatalf("error field = %q, want %q (%v)", verr.Field, tc.field, verr)
 			}
 		})
+	}
+}
+
+// TestModelFieldV6 pins version 6's side of the versioning contract: the
+// "model" field is a registry-resolved synonym of "kind" that hashes —
+// and caches — identically, canonicalization folds it back into the
+// canonical kind, and the one-bit model gates on schema_version ≥ 6 while
+// unversioned specs stay permissive.
+func TestModelFieldV6(t *testing.T) {
+	base := ringAverageSpec()
+	ref, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []Spec{
+		func() Spec { s := base; s.Kind, s.Model = "", "od"; return s }(),
+		func() Spec { s := base; s.Kind, s.Model = "", "outdegree awareness"; return s }(),
+		func() Spec { s := base; s.SchemaVersion = 6; return s }(),
+		func() Spec { s := base; s.SchemaVersion = 6; s.Kind, s.Model = "", "OD"; return s }(),
+	}
+	for i, s := range same {
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if h != ref {
+			t.Fatalf("variant %d hashes %q, want the kind-spelled hash %q", i, h, ref)
+		}
+	}
+	// Canonicalization always spells the model through the kind field.
+	s := base
+	s.Kind, s.Model = "", "outdegree"
+	c, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != "od" || c.Model != "" {
+		t.Fatalf("canonical form kept model spelling: kind=%q model=%q", c.Kind, c.Model)
+	}
+	// One-bit: permissive when unversioned, accepted at 6, and binary
+	// inputs are defaulted to the alternating pattern.
+	ob := Spec{Graph: GraphSpec{Builder: "ring", N: 4}, Kind: "onebit", Function: "max"}
+	cob, err := ob.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 1, 0, 1}; len(cob.Values) != 4 || cob.Values[0] != want[0] || cob.Values[1] != want[1] {
+		t.Fatalf("onebit default values = %v, want alternating %v", cob.Values, want)
+	}
+	ob6 := ob
+	ob6.SchemaVersion = 6
+	h0, err0 := ob.Hash()
+	h6, err6 := ob6.Hash()
+	if err0 != nil || err6 != nil || h0 != h6 {
+		t.Fatalf("onebit unversioned (%q) and v6 (%q) hash apart: %v %v", h0, h6, err0, err6)
+	}
+}
+
+// TestRunOneBitModel runs the one-bit broadcast model end-to-end through
+// the job layer: spec → compile → run, with the model named via the v6
+// model field.
+func TestRunOneBitModel(t *testing.T) {
+	c, err := Compile(Spec{
+		SchemaVersion: 6,
+		Graph:         GraphSpec{Builder: "ring", N: 6},
+		Model:         "onebit",
+		Function:      "max",
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatalf("one-bit run not stable: %+v", res)
+	}
+	// Default binary inputs alternate 0,1 → max is 1 everywhere.
+	for i, o := range res.Outputs {
+		if o != 1 {
+			t.Fatalf("output %d = %v, want 1", i, o)
+		}
 	}
 }
 

@@ -1,9 +1,11 @@
 // Package model defines the computing model of §2.2: anonymous
 // deterministic agents exchanging messages in communication-closed
-// synchronous rounds, under one of the four communication models of the
-// paper — simple broadcast, outdegree awareness, symmetric communications,
-// and output port awareness. The round semantics themselves live in package
-// engine; this package fixes the contracts.
+// synchronous rounds, under a registered communication model — the four of
+// the paper (simple broadcast, outdegree awareness, symmetric
+// communications, output port awareness) plus registry-hosted extensions
+// such as the one-bit broadcast model. The round semantics themselves live
+// in package engine; this package fixes the contracts and hosts the model
+// registry (registry.go) every layer dispatches through.
 package model
 
 import "fmt"
@@ -22,6 +24,8 @@ type Value any
 type Kind int
 
 // The four communication models of the paper, ordered as introduced.
+// OneBitBroadcast (onebit.go) extends the enum; each Kind's semantics
+// live in the Descriptor registered for it (registry.go).
 const (
 	// SimpleBroadcast: σ : Q → M — a blind cast, no knowledge of recipients.
 	SimpleBroadcast Kind = iota + 1
@@ -36,24 +40,20 @@ const (
 	Symmetric
 )
 
-// String returns the paper's name for the model.
+// String returns the registered name for the model (the paper's name for
+// the paper's four).
 func (k Kind) String() string {
-	switch k {
-	case SimpleBroadcast:
-		return "simple broadcast"
-	case OutdegreeAware:
-		return "outdegree awareness"
-	case OutputPortAware:
-		return "output port awareness"
-	case Symmetric:
-		return "symmetric communications"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+	if d, err := Lookup(k); err == nil {
+		return d.Name
 	}
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Valid reports whether k is one of the four models.
-func (k Kind) Valid() bool { return k >= SimpleBroadcast && k <= Symmetric }
+// Valid reports whether k has a registered descriptor.
+func (k Kind) Valid() bool {
+	_, err := Lookup(k)
+	return err == nil
+}
 
 // Agent is the common part of every agent: the transition function
 // δ : Q × M⊕ → Q (Receive) and the output variable (§2.3). The engine

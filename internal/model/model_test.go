@@ -6,7 +6,7 @@ import (
 )
 
 func TestKindStringAndValid(t *testing.T) {
-	for _, k := range []Kind{SimpleBroadcast, OutdegreeAware, OutputPortAware, Symmetric} {
+	for _, k := range []Kind{SimpleBroadcast, OutdegreeAware, OutputPortAware, Symmetric, OneBitBroadcast} {
 		if !k.Valid() {
 			t.Errorf("%v not valid", k)
 		}
@@ -14,7 +14,7 @@ func TestKindStringAndValid(t *testing.T) {
 			t.Errorf("kind %d has empty name", int(k))
 		}
 	}
-	if Kind(0).Valid() || Kind(5).Valid() {
+	if Kind(0).Valid() || Kind(6).Valid() {
 		t.Fatal("out-of-range kinds reported valid")
 	}
 	if Kind(99).String() != "Kind(99)" {

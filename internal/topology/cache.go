@@ -226,11 +226,15 @@ func graphBytes(g *graph.Graph) int64 {
 // scratch-free Snapshot suitable for sharing across runs — the build a
 // Cache performs on a miss.
 func BuildSnapshot(g *graph.Graph, kind model.Kind) (*Snapshot, error) {
-	if err := validate(g, kind, g.N(), 1, false); err != nil {
+	desc, err := model.Lookup(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(g, desc, g.N(), 1, false); err != nil {
 		return nil, err
 	}
 	s := new(Snapshot)
-	s.build(g, kind)
+	s.build(g, desc)
 	// A shared snapshot is never rebuilt in place, so the counting-sort
 	// scratch would be dead weight for its whole cache lifetime.
 	s.srcStart, s.bykey, s.fill = nil, nil, nil

@@ -53,6 +53,7 @@ func WithSharedSnapshot(g *graph.Graph, snap *Snapshot) Option {
 type Provider struct {
 	schedule  dynamic.Schedule
 	kind      model.Kind
+	desc      *model.Descriptor // nil when kind is unregistered; Round then errors
 	n         int
 	requireSC bool
 
@@ -68,11 +69,16 @@ type Provider struct {
 	buildNanos int64
 }
 
-// NewProvider wraps schedule for the given communication model.
+// NewProvider wraps schedule for the given communication model, resolving
+// its registered descriptor once for the provider's lifetime. An
+// unregistered kind is not rejected here (NewProvider predates validation
+// in some callers); Round reports it on first use.
 func NewProvider(schedule dynamic.Schedule, kind model.Kind, opts ...Option) *Provider {
+	desc, _ := model.Lookup(kind)
 	p := &Provider{
 		schedule: schedule,
 		kind:     kind,
+		desc:     desc,
 		n:        schedule.N(),
 		pool:     sync.Pool{New: func() any { return new(Snapshot) }},
 	}
@@ -89,6 +95,9 @@ func (p *Provider) N() int { return p.n }
 // The snapshot stays valid until the next Round call with a different
 // graph, at which point its arrays may be recycled.
 func (p *Provider) Round(t int) (*Snapshot, error) {
+	if p.desc == nil {
+		return nil, fmt.Errorf("topology: unknown model kind %d (registered models: %s)", int(p.kind), model.NamesList())
+	}
 	g := p.schedule.At(t)
 	if g == nil {
 		return nil, fmt.Errorf("topology: schedule returned nil graph for round %d", t)
@@ -99,12 +108,12 @@ func (p *Provider) Round(t int) (*Snapshot, error) {
 	if g == p.curFor {
 		return p.cur, nil
 	}
-	if err := validate(g, p.kind, p.n, t, p.requireSC); err != nil {
+	if err := validate(g, p.desc, p.n, t, p.requireSC); err != nil {
 		return nil, err
 	}
 	snap := p.pool.Get().(*Snapshot)
 	start := time.Now()
-	snap.build(g, p.kind)
+	snap.build(g, p.desc)
 	p.buildNanos += time.Since(start).Nanoseconds()
 	p.builds++
 	if p.cur != nil {

@@ -123,11 +123,11 @@ func grow(b []int32, n int) []int32 {
 	return b[:n]
 }
 
-// build flattens g destination-major. Two stable counting sorts order the
-// edges by (source, insertion index) and then bucket them per destination,
-// reproducing exactly the order in which the reference engine appends to
-// each inbox.
-func (s *Snapshot) build(g *graph.Graph, kind model.Kind) {
+// build flattens g destination-major for the model described by desc. Two
+// stable counting sorts order the edges by (source, insertion index) and
+// then bucket them per destination, reproducing exactly the order in which
+// the reference engine appends to each inbox.
+func (s *Snapshot) build(g *graph.Graph, desc *model.Descriptor) {
 	n, m := g.N(), g.M()
 	s.n, s.m = n, m
 	s.Start = grow(s.Start, n+1)
@@ -176,7 +176,7 @@ func (s *Snapshot) build(g *graph.Graph, kind model.Kind) {
 		s.fill[e.To]++
 		s.Src[pos] = int32(e.From)
 		s.Port[pos] = int32(e.Port)
-		if kind == model.OutputPortAware {
+		if desc.PortSlots {
 			s.Slot[pos] = int32(e.Port - 1)
 		} else {
 			s.Slot[pos] = 0
@@ -186,20 +186,21 @@ func (s *Snapshot) build(g *graph.Graph, kind model.Kind) {
 
 // validate checks the invariants a round graph must satisfy before it may
 // be flattened: the agent count matches, every vertex carries a self-loop
-// (§2.1's standing assumption), the symmetric model sees a symmetric edge
-// relation, the output-port model sees a valid port labelling, and — when
-// the caller opted in — the graph is strongly connected.
-func validate(g *graph.Graph, kind model.Kind, n, t int, requireSC bool) error {
+// (§2.1's standing assumption), the model's registered graph-class
+// constraints hold (symmetric ⇒ bidirectional edge relation, port-aware ⇒
+// valid port labelling), and — when the caller opted in — the graph is
+// strongly connected.
+func validate(g *graph.Graph, desc *model.Descriptor, n, t int, requireSC bool) error {
 	if g.N() != n {
 		return fmt.Errorf("topology: round %d graph has %d vertices, want %d", t, g.N(), n)
 	}
 	if !g.HasSelfLoops() {
 		return fmt.Errorf("topology: round %d graph lacks self-loops (§2.1 requires them)", t)
 	}
-	if kind == model.Symmetric && !g.IsSymmetric() {
-		return fmt.Errorf("topology: round %d graph is not symmetric but the model is %v", t, kind)
+	if desc.RequireSymmetric && !g.IsSymmetric() {
+		return fmt.Errorf("topology: round %d graph is not symmetric but the model is %s", t, desc.Name)
 	}
-	if kind == model.OutputPortAware && !g.PortsValid() {
+	if desc.RequirePorts && !g.PortsValid() {
 		return fmt.Errorf("topology: round %d graph has no valid port labelling (use Graph.AssignPorts)", t)
 	}
 	if requireSC && !g.StronglyConnected() {
